@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared machinery for the figure/table reproduction harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the thesis
+ * (see DESIGN.md's per-experiment index) on the simulated Alewife
+ * machine and prints the same rows/series the thesis plots. Absolute
+ * cycle counts differ from NWO's (see EXPERIMENTS.md); the shapes are
+ * the reproduction target.
+ *
+ * Baseline methodology (thesis Section 3.5.1): each processor loops
+ * {acquire; 100-cycle critical section; release; random think time in
+ * [0,500)}, and the reported "overhead" is the average elapsed time per
+ * critical section minus the test-loop latency (350/P cycles, floored
+ * at the 100-cycle critical section), i.e. the cycles the
+ * synchronization algorithm adds to each critical section.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/reactive_fetch_op.hpp"
+#include "core/reactive_lock.hpp"
+#include "core/reactive_mutex.hpp"
+#include "fetchop/combining_tree.hpp"
+#include "fetchop/locked_fetch_op.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/tas_lock.hpp"
+#include "locks/tts_lock.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+#include "stats/table.hpp"
+
+namespace reactive::bench {
+
+using sim::SimPlatform;
+
+/// Command-line knobs common to all harnesses.
+struct BenchArgs {
+    bool full = false;       ///< larger, slower, smoother runs
+    std::uint64_t seed = 1;
+
+    static BenchArgs parse(int argc, char** argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0)
+                a.full = true;
+            else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+                a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        }
+        return a;
+    }
+};
+
+/// Contention sweep used by the baseline figures.
+inline std::vector<std::uint32_t> baseline_procs(bool full)
+{
+    if (full)
+        return {1, 2, 4, 8, 16, 32, 64, 128};
+    return {1, 2, 4, 8, 16, 32, 64};
+}
+
+/// Iterations per processor, sized down as contention rises.
+inline std::uint32_t baseline_iters(std::uint32_t procs, bool full)
+{
+    const std::uint32_t scale = full ? 4 : 1;
+    if (procs <= 4)
+        return 600 * scale;
+    if (procs <= 16)
+        return 300 * scale;
+    return 120 * scale;
+}
+
+/// Test-loop latency per critical section (Section 3.5.1).
+inline double spinlock_loop_latency(std::uint32_t procs)
+{
+    const double serial = 350.0 / procs;
+    return serial > 100.0 ? serial : 100.0;
+}
+
+/// Constructs lock L, forwarding a contender bound if it wants one.
+template <typename L>
+std::shared_ptr<L> make_lock(std::uint32_t max_contenders)
+{
+    if constexpr (std::is_constructible_v<L, std::uint32_t>)
+        return std::make_shared<L>(max_contenders);
+    else
+        return std::make_shared<L>();
+}
+
+/**
+ * Baseline spin-lock experiment: average algorithm overhead per
+ * critical section at @p procs contenders (cycles).
+ */
+template <typename L>
+double spinlock_overhead(std::uint32_t procs, bool full,
+                         sim::CostModel cm = sim::CostModel::alewife(),
+                         std::uint64_t seed = 1)
+{
+    const std::uint32_t iters = baseline_iters(procs, full);
+    sim::Machine m(procs, cm, seed);
+    auto lock = make_lock<L>(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                typename L::Node node;
+                lock->lock(node);
+                sim::delay(100);  // critical section
+                lock->unlock(node);
+                sim::delay(sim::random_below(500));  // think time
+            }
+        });
+    }
+    m.run();
+    const double per_crit = static_cast<double>(m.elapsed()) /
+                            (static_cast<double>(procs) * iters);
+    return per_crit - spinlock_loop_latency(procs);
+}
+
+/// Constructs fetch-op F, forwarding a width if it wants one.
+template <typename F>
+std::shared_ptr<F> make_fetch_op(std::uint32_t procs)
+{
+    if constexpr (std::is_constructible_v<F, std::uint32_t>)
+        return std::make_shared<F>(procs);
+    else
+        return std::make_shared<F>();
+}
+
+/**
+ * Baseline fetch-and-op experiment: average algorithm overhead per
+ * fetch-and-increment at @p procs contenders (cycles).
+ */
+template <typename F>
+double fetchop_overhead(std::uint32_t procs, bool full,
+                        sim::CostModel cm = sim::CostModel::alewife(),
+                        std::uint64_t seed = 1)
+{
+    const std::uint32_t iters = baseline_iters(procs, full);
+    sim::Machine m(procs, cm, seed);
+    auto f = make_fetch_op<F>(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename F::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                f->fetch_add(node, 1);
+                sim::delay(sim::random_below(500));
+            }
+        });
+    }
+    m.run();
+    const double per_op = static_cast<double>(m.elapsed()) /
+                          (static_cast<double>(procs) * iters);
+    return per_op - 250.0 / procs;
+}
+
+// Convenient aliases for the protocols under study.
+using TasSim = TasLock<SimPlatform>;
+using TtsSim = TtsLock<SimPlatform>;
+using McsSim = McsLock<SimPlatform, McsVariant::kFetchStore>;
+using ReactiveSim = ReactiveNodeLock<SimPlatform, AlwaysSwitchPolicy>;
+
+struct TtsFetchOpSim : LockedFetchOp<SimPlatform, TtsSim> {
+    explicit TtsFetchOpSim(std::uint32_t) {}
+};
+struct QueueFetchOpSim : LockedFetchOp<SimPlatform, McsSim> {
+    explicit QueueFetchOpSim(std::uint32_t) {}
+};
+using TreeFetchOpSim = CombiningFetchOp<SimPlatform>;
+using ReactiveFetchOpSim = ReactiveFetchOp<SimPlatform>;
+
+}  // namespace reactive::bench

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Native-hardware microbenchmarks (google-benchmark): uncontended
+ * latencies of every lock and fetch-and-op implementation on real
+ * std::atomic hardware — the native analogue of the P=1 column of the
+ * baseline figures, and the numbers a downstream adopter of the library
+ * cares about first.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/reactive_fetch_op.hpp"
+#include "core/reactive_lock.hpp"
+#include "core/reactive_mutex.hpp"
+#include "fetchop/combining_tree.hpp"
+#include "fetchop/locked_fetch_op.hpp"
+#include "locks/anderson_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/tas_lock.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/tts_lock.hpp"
+#include "platform/native_platform.hpp"
+#include "waiting/sync/barrier.hpp"
+#include "waiting/sync/future.hpp"
+#include "waiting/sync/waiting_mutex.hpp"
+
+namespace {
+
+using reactive::NativePlatform;
+
+template <typename L>
+void BM_LockUncontended(benchmark::State& state)
+{
+    L lock;
+    for (auto _ : state) {
+        typename L::Node node;
+        lock.lock(node);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock(node);
+    }
+}
+
+template <>
+void BM_LockUncontended<reactive::AndersonLock<NativePlatform>>(
+    benchmark::State& state)
+{
+    reactive::AndersonLock<NativePlatform> lock(8);
+    for (auto _ : state) {
+        typename reactive::AndersonLock<NativePlatform>::Node node;
+        lock.lock(node);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock(node);
+    }
+}
+
+BENCHMARK(BM_LockUncontended<reactive::TasLock<NativePlatform>>)
+    ->Name("lock/tas");
+BENCHMARK(BM_LockUncontended<reactive::TtsLock<NativePlatform>>)
+    ->Name("lock/tts");
+BENCHMARK(BM_LockUncontended<
+              reactive::McsLock<NativePlatform, reactive::McsVariant::kFetchStore>>)
+    ->Name("lock/mcs_fetchstore");
+BENCHMARK(BM_LockUncontended<
+              reactive::McsLock<NativePlatform, reactive::McsVariant::kCompareSwap>>)
+    ->Name("lock/mcs_cas");
+BENCHMARK(BM_LockUncontended<reactive::TicketLock<NativePlatform>>)
+    ->Name("lock/ticket");
+BENCHMARK(BM_LockUncontended<reactive::AndersonLock<NativePlatform>>)
+    ->Name("lock/anderson");
+BENCHMARK(BM_LockUncontended<reactive::ReactiveNodeLock<NativePlatform>>)
+    ->Name("lock/reactive");
+
+void BM_ReactiveMutexGuard(benchmark::State& state)
+{
+    reactive::ReactiveMutex<NativePlatform> mu;
+    for (auto _ : state) {
+        reactive::ReactiveMutex<NativePlatform>::Guard g(mu);
+        benchmark::DoNotOptimize(&mu);
+    }
+}
+BENCHMARK(BM_ReactiveMutexGuard)->Name("lock/reactive_mutex_guard");
+
+template <typename F>
+void BM_FetchOp(benchmark::State& state)
+{
+    F f;
+    typename F::Node node;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.fetch_add(node, 1));
+}
+
+template <>
+void BM_FetchOp<reactive::CombiningFetchOp<NativePlatform>>(
+    benchmark::State& state)
+{
+    reactive::CombiningFetchOp<NativePlatform> f(8);
+    typename reactive::CombiningFetchOp<NativePlatform>::Node node;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.fetch_add(node, 1));
+}
+
+template <>
+void BM_FetchOp<reactive::ReactiveFetchOp<NativePlatform>>(
+    benchmark::State& state)
+{
+    reactive::ReactiveFetchOp<NativePlatform> f(8);
+    typename reactive::ReactiveFetchOp<NativePlatform>::Node node;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.fetch_add(node, 1));
+}
+
+BENCHMARK(
+    BM_FetchOp<reactive::LockedFetchOp<NativePlatform,
+                                       reactive::TtsLock<NativePlatform>>>)
+    ->Name("fetchop/tts_lock");
+BENCHMARK(BM_FetchOp<reactive::LockedFetchOp<
+              NativePlatform,
+              reactive::McsLock<NativePlatform,
+                                reactive::McsVariant::kFetchStore>>>)
+    ->Name("fetchop/mcs_lock");
+BENCHMARK(BM_FetchOp<reactive::CombiningFetchOp<NativePlatform>>)
+    ->Name("fetchop/combining_tree");
+BENCHMARK(BM_FetchOp<reactive::ReactiveFetchOp<NativePlatform>>)
+    ->Name("fetchop/reactive");
+
+void BM_FutureResolvedGet(benchmark::State& state)
+{
+    reactive::FutureValue<int, NativePlatform> f;
+    f.set_value(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.get());
+}
+BENCHMARK(BM_FutureResolvedGet)->Name("waiting/future_resolved_get");
+
+void BM_WaitingMutexUncontended(benchmark::State& state)
+{
+    reactive::WaitingMutex<NativePlatform> mu(
+        reactive::WaitingAlgorithm::two_phase(2000));
+    for (auto _ : state) {
+        mu.lock();
+        benchmark::DoNotOptimize(&mu);
+        mu.unlock();
+    }
+}
+BENCHMARK(BM_WaitingMutexUncontended)->Name("waiting/mutex_uncontended");
+
+void BM_BarrierSolo(benchmark::State& state)
+{
+    reactive::WaitingBarrier<NativePlatform> bar(1);
+    reactive::WaitingBarrier<NativePlatform>::Node node;
+    for (auto _ : state)
+        bar.arrive(node);
+}
+BENCHMARK(BM_BarrierSolo)->Name("waiting/barrier_single_participant");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Figure 1.1 / Figure 3.2 (left) / Figure 3.15 (left):
+ * baseline spin-lock overhead versus number of contending processors,
+ * for test-and-set (with randomized exponential backoff),
+ * test-and-test-and-set (with backoff; also on a full-map DirNNB
+ * directory), the MCS queue lock, and the reactive spin lock, plus the
+ * per-column best static choice ("ideal").
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    stats::Table t(
+        "Fig 1.1 / 3.2 / 3.15 (spin locks): overhead cycles per critical "
+        "section vs contending processors");
+    std::vector<std::string> header{"algorithm"};
+    for (std::uint32_t p : baseline_procs(args.full))
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> names{"test&set (backoff)", "test&test&set",
+                                   "tts (DirNNB full-map)", "mcs queue",
+                                   "reactive"};
+    for (std::size_t i = 0; i < names.size(); ++i)
+        rows.emplace_back();
+
+    for (std::uint32_t p : baseline_procs(args.full)) {
+        rows[0].push_back(spinlock_overhead<TasSim>(p, args.full,
+                                                    sim::CostModel::alewife(),
+                                                    args.seed));
+        rows[1].push_back(spinlock_overhead<TtsSim>(p, args.full,
+                                                    sim::CostModel::alewife(),
+                                                    args.seed));
+        rows[2].push_back(spinlock_overhead<TtsSim>(p, args.full,
+                                                    sim::CostModel::dirnnb(),
+                                                    args.seed));
+        rows[3].push_back(spinlock_overhead<McsSim>(p, args.full,
+                                                    sim::CostModel::alewife(),
+                                                    args.seed));
+        rows[4].push_back(spinlock_overhead<ReactiveSim>(
+            p, args.full, sim::CostModel::alewife(), args.seed));
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (double v : rows[i])
+            cells.push_back(stats::fmt(v, 0));
+        t.row(cells);
+    }
+    // Ideal = best static protocol per contention level (Figure 1.1's
+    // dashed curve); the reactive lock should track it closely.
+    std::vector<std::string> ideal{"ideal (best static)"};
+    for (std::size_t c = 0; c < rows[0].size(); ++c) {
+        double best = rows[0][c];
+        for (std::size_t i = 1; i < 4; ++i)
+            best = std::min(best, rows[i][c]);
+        ideal.push_back(stats::fmt(best, 0));
+    }
+    t.row(ideal);
+    t.note("paper shape: TTS cheapest at P<=2, MCS flat and best at P>=4,");
+    t.note("TAS/TTS blow up with P, reactive tracks the lower envelope");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 3.16: spin-lock baseline on the 16-processor
+ * Alewife hardware prototype — reproduced as the same baseline sweep on
+ * the prototype cost preset (20 MHz clock makes the asynchronous
+ * network relatively faster; Section 3.5.2).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    const sim::CostModel cm = sim::CostModel::prototype16();
+    const std::vector<std::uint32_t> procs{1, 2, 4, 8, 16};
+
+    stats::Table t(
+        "Fig 3.16 (16-processor prototype): spin-lock overhead cycles per "
+        "critical section");
+    std::vector<std::string> header{"algorithm"};
+    for (std::uint32_t p : procs)
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    auto sweep = [&]<typename L>(std::type_identity<L>, const char* name) {
+        std::vector<std::string> cells{name};
+        for (std::uint32_t p : procs)
+            cells.push_back(stats::fmt(
+                spinlock_overhead<L>(p, args.full, cm, args.seed), 0));
+        t.row(cells);
+        std::cerr << "." << std::flush;
+    };
+    sweep(std::type_identity<TasSim>{}, "test&set (backoff)");
+    sweep(std::type_identity<TtsSim>{}, "test&test&set");
+    sweep(std::type_identity<McsSim>{}, "mcs queue");
+    sweep(std::type_identity<ReactiveSim>{}, "reactive");
+    std::cerr << "\n";
+
+    t.note("validates the simulation shape at 16 nodes: same crossover,");
+    t.note("lower absolute handoff cost (faster relative network)");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Figures 4.4 and 4.5: expected competitive factors of
+ * waiting algorithms under exponentially and uniformly distributed
+ * waiting times (analytic, from the Section 4.4/4.5 cost model), and
+ * the optimal static Lpoll values of Section 4.5.
+ */
+#include <iostream>
+
+#include "stats/table.hpp"
+#include "theory/waiting_cost.hpp"
+
+using namespace reactive;
+using namespace reactive::theory;
+
+namespace {
+
+template <typename Dist>
+void factor_table(const char* title, const char* xlabel)
+{
+    WaitCosts costs{500.0, 1.0};
+    const double a_star = std::is_same_v<Dist, ExponentialWait>
+                              ? exponential_optimal_alpha()
+                              : optimal_alpha<UniformWait>(costs);
+    stats::Table t(title);
+    t.header({xlabel, "always-block", "2phase a=1", "2phase a=0.5",
+              std::string("2phase a*=") + stats::fmt(a_star, 3)});
+    for (double scale :
+         {0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 50.0}) {
+        Dist w;
+        if constexpr (std::is_same_v<Dist, ExponentialWait>)
+            w.mean = scale * costs.block_cost;
+        else
+            w.upper = scale * costs.block_cost;
+        // always-block = two-phase with alpha = 0.
+        t.row({stats::fmt(scale, 2),
+               stats::fmt(expected_factor(w, 0.0, costs), 3),
+               stats::fmt(expected_factor(w, 1.0, costs), 3),
+               stats::fmt(expected_factor(w, 0.5, costs), 3),
+               stats::fmt(expected_factor(w, a_star, costs), 3)});
+    }
+    t.note("worst case over the adversary's parameter:");
+    t.note("  alpha=1   -> " +
+           stats::fmt(worst_case_factor<Dist>(1.0, costs), 3));
+    t.note("  alpha=0.5 -> " +
+           stats::fmt(worst_case_factor<Dist>(0.5, costs), 3));
+    t.note("  alpha*    -> " +
+           stats::fmt(worst_case_factor<Dist>(a_star, costs), 3));
+    t.print();
+}
+
+}  // namespace
+
+int main()
+{
+    factor_table<ExponentialWait>(
+        "Fig 4.4: expected competitive factors, exponential waiting times",
+        "mean wait / B");
+    factor_table<UniformWait>(
+        "Fig 4.5: expected competitive factors, uniform waiting times",
+        "max wait / B");
+
+    WaitCosts costs{500.0, 1.0};
+    stats::Table t("Section 4.5: optimal static Lpoll");
+    t.header({"distribution", "alpha* (analysis)", "alpha* (numeric)",
+              "competitive factor"});
+    t.row({"exponential", stats::fmt(exponential_optimal_alpha(), 4),
+           stats::fmt(optimal_alpha<ExponentialWait>(costs), 4),
+           stats::fmt(worst_case_factor<ExponentialWait>(
+                          exponential_optimal_alpha(), costs),
+                      3)});
+    const double ua = optimal_alpha<UniformWait>(costs);
+    t.row({"uniform", "~0.62", stats::fmt(ua, 4),
+           stats::fmt(worst_case_factor<UniformWait>(ua, costs), 3)});
+    t.note("thesis: ln(e-1)=0.5413 -> 1.58-competitive (exp);");
+    t.note("0.62 -> 1.62-competitive (uniform); on-line bound is 1.58");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figures 4.12-4.14 and Tables 4.3-4.5: execution times of
+ * the producer-consumer, barrier, and mutual-exclusion benchmarks under
+ * the waiting algorithms — always-spin, always-block, two-phase with
+ * Lpoll = 0.54B (the exponential-optimal static setting) and
+ * Lpoll = B (the classic 2-competitive setting) — normalized per row to
+ * the best algorithm.
+ */
+#include <iostream>
+
+#include "apps/waiting_workloads.hpp"
+#include "bench_common.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    const std::uint32_t procs = 16;
+    const std::uint32_t scale = args.full ? 3 : 1;
+    const double b_cost = sim::CostModel::alewife().blocking_cost();
+
+    const std::pair<const char*, WaitingAlgorithm> algos[] = {
+        {"spin", WaitingAlgorithm::always_spin()},
+        {"block", WaitingAlgorithm::always_block()},
+        {"2ph 0.54B",
+         WaitingAlgorithm::two_phase(
+             static_cast<std::uint64_t>(0.5413 * b_cost))},
+        {"2ph B",
+         WaitingAlgorithm::two_phase(static_cast<std::uint64_t>(b_cost))},
+    };
+
+    stats::Table t(
+        "Figs 4.12-4.14 / Tables 4.3-4.5: execution time by waiting "
+        "algorithm (normalized to the best per row)");
+    t.header({"benchmark", "spin", "block", "2ph 0.54B", "2ph B"});
+
+    auto row = [&](const char* name, auto runner) {
+        double v[4];
+        for (int i = 0; i < 4; ++i)
+            v[i] = static_cast<double>(runner(algos[i].second));
+        const double best = std::min({v[0], v[1], v[2], v[3]});
+        t.row({name, stats::fmt(v[0] / best, 2), stats::fmt(v[1] / best, 2),
+               stats::fmt(v[2] / best, 2), stats::fmt(v[3] / best, 2)});
+        std::cerr << "." << std::flush;
+    };
+
+    row("jstructure (prod-cons)", [&](WaitingAlgorithm a) {
+        return apps::run_jstructure_pipeline(procs, a, 96 * scale, nullptr,
+                                             args.seed);
+    });
+    row("futures (prod-cons)", [&](WaitingAlgorithm a) {
+        return apps::run_future_net(procs, a, 12 * scale, nullptr, args.seed);
+    });
+    row("jacobi-bar (barrier)", [&](WaitingAlgorithm a) {
+        return apps::run_barrier_sweeps(procs, a, 20 * scale, 3000, nullptr,
+                                        args.seed);
+    });
+    row("cgrad-like (barrier)", [&](WaitingAlgorithm a) {
+        return apps::run_barrier_sweeps(procs, a, 40 * scale, 1200, nullptr,
+                                        args.seed);
+    });
+    row("fibheap (mutex)", [&](WaitingAlgorithm a) {
+        return apps::run_fibheap(procs, a, 30 * scale, nullptr, args.seed);
+    });
+    row("mutex stress (mutex)", [&](WaitingAlgorithm a) {
+        return apps::run_mutex_stress(procs, a, 40 * scale, nullptr,
+                                      args.seed);
+    });
+    row("countnet (mutex)", [&](WaitingAlgorithm a) {
+        return apps::run_countnet(procs, a, 30 * scale, 16, nullptr,
+                                  args.seed);
+    });
+    std::cerr << "\n";
+    t.note("paper shape: neither pure mechanism wins everywhere (bad");
+    t.note("choice costs up to ~2.4x); two-phase stays within a few %");
+    t.note("of the best static choice on every benchmark");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table 4.1: the cost breakdown of blocking a thread. The
+ * simulator charges exactly these components (unload at block time,
+ * reenable charged to the waker, reload at reschedule); the measurement
+ * below recovers the total from a block/wake microbenchmark to confirm
+ * the configuration adds up to the ~500-cycle B the analysis uses.
+ */
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+int main()
+{
+    const sim::CostModel cm = sim::CostModel::alewife();
+
+    stats::Table t("Table 4.1: cost of blocking (simulated Alewife)");
+    t.header({"component", "cycles"});
+    t.row({"unload (save registers, enqueue, book-keeping)",
+           std::to_string(cm.thread_unload)});
+    t.row({"reenable (lock blocked queue, move to ready)",
+           std::to_string(cm.thread_reenable)});
+    t.row({"reload (restore registers, book-keeping)",
+           std::to_string(cm.thread_reload)});
+    t.row({"total B", std::to_string(cm.blocking_cost())});
+
+    // Measure: the wakee's processor pays unload before the block and
+    // reload at resume; the waker pays reenable.
+    sim::Machine m(2, cm);
+    auto q = std::make_shared<sim::SimWaitQueue>();
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    auto waiter_busy = std::make_shared<std::uint64_t>(0);
+    m.spawn(0, [=] {
+        const std::uint64_t t0 = sim::now();
+        std::uint32_t e = q->prepare_wait();
+        if (flag->load() == 0)
+            q->commit_wait(e);
+        else
+            q->cancel_wait();
+        // Processor-time actually spent on the block path: total time
+        // minus the time spent suspended (wake happened at ~5000).
+        *waiter_busy = (sim::now() - t0) - 5000;
+    });
+    m.spawn(1, [=] {
+        sim::delay(5000);
+        flag->store(1);
+        q->notify_one();
+    });
+    m.run();
+    t.note("measured block-path processor cycles (unload+reload+queue "
+           "ops, excluding suspension): ~" +
+           std::to_string(*waiter_busy));
+    t.note("thesis: 219 base cycles, ~500 measured with cache misses");
+    t.print();
+    return 0;
+}

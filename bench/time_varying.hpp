@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared harness for the time-varying contention test
+ * (thesis Figures 3.20-3.23).
+ *
+ * The level of contention alternates between a low phase (one processor
+ * acquiring the lock with a 10-cycle critical section and 20-cycle
+ * think time) and a high phase (16 processors, 100-cycle critical
+ * sections, 250-cycle think times). One period = `period_locks` total
+ * acquisitions, of which a fraction happens under high contention. The
+ * lock object persists across phases, so a reactive lock must switch
+ * protocols (twice per period, ideally); elapsed times are normalized
+ * to the MCS queue lock.
+ */
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace reactive::bench {
+
+template <typename L>
+std::uint64_t run_time_varying(std::uint32_t period_locks,
+                               double contention_fraction,
+                               std::uint32_t periods, std::uint64_t seed)
+{
+    auto lock = make_lock<L>(16);
+    const auto high_total = static_cast<std::uint32_t>(
+        static_cast<double>(period_locks) * contention_fraction);
+    const std::uint32_t low_total = period_locks - high_total;
+    std::uint64_t elapsed = 0;
+
+    for (std::uint32_t period = 0; period < periods; ++period) {
+        {  // low-contention phase: one processor
+            sim::Machine m(1, sim::CostModel::alewife(), seed + 2 * period);
+            m.spawn(0, [=] {
+                for (std::uint32_t i = 0; i < low_total; ++i) {
+                    typename L::Node node;
+                    lock->lock(node);
+                    sim::delay(10);
+                    lock->unlock(node);
+                    sim::delay(20);
+                }
+            });
+            m.run();
+            elapsed += m.elapsed();
+        }
+        {  // high-contention phase: 16 processors
+            sim::Machine m(16, sim::CostModel::alewife(),
+                           seed + 2 * period + 1);
+            const std::uint32_t iters = high_total / 16;
+            for (std::uint32_t p = 0; p < 16; ++p) {
+                m.spawn(p, [=] {
+                    for (std::uint32_t i = 0; i < iters; ++i) {
+                        typename L::Node node;
+                        lock->lock(node);
+                        sim::delay(100);
+                        lock->unlock(node);
+                        sim::delay(250);
+                    }
+                });
+            }
+            m.run();
+            elapsed += m.elapsed();
+        }
+    }
+    return elapsed;
+}
+
+inline std::vector<std::uint32_t> period_lengths(bool full)
+{
+    if (full)
+        return {256, 512, 1024, 2048, 4096, 8192};
+    return {256, 1024, 4096};
+}
+
+inline std::vector<double> contention_fractions(bool full)
+{
+    if (full)
+        return {0.1, 0.3, 0.5, 0.7, 0.9};
+    return {0.1, 0.5, 0.9};
+}
+
+/**
+ * Prints one Figure 3.21/3.22/3.23-style block: rows = algorithms,
+ * columns = period lengths, values normalized to the MCS queue lock,
+ * one table per contention fraction.
+ */
+template <typename RunFn>
+void print_time_varying_tables(
+    const char* title, const std::vector<std::pair<std::string, RunFn>>& algos,
+    const BenchArgs& args)
+{
+    const std::uint32_t periods = args.full ? 10 : 6;
+    for (double frac : contention_fractions(args.full)) {
+        stats::Table t(std::string(title) + " — " +
+                       stats::fmt(frac * 100.0, 0) + "% contention "
+                       "(normalized to MCS queue lock)");
+        std::vector<std::string> header{"algorithm"};
+        for (std::uint32_t len : period_lengths(args.full))
+            header.push_back(std::to_string(len) + "/period");
+        t.header(header);
+
+        std::vector<std::uint64_t> mcs_elapsed;
+        for (std::uint32_t len : period_lengths(args.full))
+            mcs_elapsed.push_back(run_time_varying<McsSim>(
+                len, frac, periods, args.seed));
+
+        for (const auto& [name, fn] : algos) {
+            std::vector<std::string> cells{name};
+            std::size_t c = 0;
+            for (std::uint32_t len : period_lengths(args.full)) {
+                const std::uint64_t e = fn(len, frac, periods, args.seed);
+                cells.push_back(stats::fmt(
+                    static_cast<double>(e) /
+                        static_cast<double>(mcs_elapsed[c++]),
+                    2));
+            }
+            t.row(cells);
+            std::cerr << "." << std::flush;
+        }
+        std::cerr << "\n";
+        t.print();
+    }
+}
+
+using TvRunFn = std::uint64_t (*)(std::uint32_t, double, std::uint32_t,
+                                  std::uint64_t);
+
+}  // namespace reactive::bench

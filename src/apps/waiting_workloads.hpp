@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Chapter 4 benchmark kernels (thesis Table 4.2): synchronization-type
+ * workloads used to measure waiting-time distributions (Figures
+ * 4.6-4.11) and execution times under different waiting algorithms
+ * (Figures 4.12-4.14, Tables 4.3-4.6).
+ *
+ * Producer-consumer: J-structure pipeline and a future-based task net
+ * (exponential-ish waits under random production grains).
+ * Barrier: Jacobi-like sweeps (uniform-ish waits from skewed arrivals).
+ * Mutual exclusion: FibHeap-like hot mutex, a Mutex stress kernel, and
+ * a CountNet-like array of lightly-contended balancer mutexes.
+ *
+ * Every kernel takes the WaitingAlgorithm under study and optionally
+ * records waiting-time profiles; all run on the simulated machine with
+ * more threads than processors where the thesis' scenario needs
+ * processors to be reusable by blocked threads' siblings.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+#include "stats/summary.hpp"
+#include "waiting/sync/barrier.hpp"
+#include "waiting/sync/future.hpp"
+#include "waiting/sync/jstructure.hpp"
+#include "waiting/sync/waiting_mutex.hpp"
+
+namespace reactive::apps {
+
+using sim::SimPlatform;
+
+/**
+ * J-structure producer-consumer pipeline (Figure 4.6's reader waits):
+ * one producer fills a J-structure with variable grain; `procs-1`
+ * consumers read every slot. Returns simulated elapsed cycles.
+ */
+inline std::uint64_t run_jstructure_pipeline(std::uint32_t procs,
+                                             WaitingAlgorithm alg,
+                                             std::uint32_t slots = 96,
+                                             stats::Samples* profile = nullptr,
+                                             std::uint64_t seed = 1)
+{
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto js = std::make_shared<JStructure<int, SimPlatform>>(slots, alg);
+    m.spawn(0, [=] {
+        for (std::uint32_t i = 0; i < slots; ++i) {
+            sim::delay(150 + sim::random_below(900));  // produce element
+            js->write(i, static_cast<int>(i));
+        }
+    });
+    for (std::uint32_t p = 1; p < procs; ++p) {
+        m.spawn(p, [=] {
+            long sum = 0;
+            for (std::uint32_t i = 0; i < slots; ++i) {
+                sum += js->read(i, profile);
+                // Consumption grain matches the production grain, so
+                // readers run near the producer and most waits are
+                // short with an exponential-ish tail (the Figure 4.6
+                // regime).
+                sim::delay(150 + sim::random_below(900));
+            }
+            (void)sum;
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Future-based task network (Figure 4.7's future-touch waits): each
+ * round, every processor produces one future after a random grain and
+ * touches a randomly chosen future of the previous round.
+ */
+inline std::uint64_t run_future_net(std::uint32_t procs, WaitingAlgorithm alg,
+                                    std::uint32_t rounds = 12,
+                                    stats::Samples* profile = nullptr,
+                                    std::uint64_t seed = 1)
+{
+    using Fut = FutureValue<int, SimPlatform>;
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto futures = std::make_shared<std::vector<std::unique_ptr<Fut>>>();
+    for (std::uint32_t i = 0; i < procs * (rounds + 1); ++i)
+        futures->push_back(std::make_unique<Fut>(alg));
+    // Round 0 futures resolve immediately.
+    for (std::uint32_t p = 0; p < procs; ++p)
+        (*futures)[p].get()->set_value(0);
+
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t r = 0; r < rounds; ++r) {
+                // Touch a random future of the previous round.
+                const std::uint32_t src = sim::random_below(procs);
+                const int v = (*futures)[r * procs + src].get()->get(profile);
+                sim::delay(300 + sim::random_below(1500));  // compute
+                (*futures)[(r + 1) * procs + p].get()->set_value(v + 1);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Jacobi-like barrier kernel (Figures 4.8/4.13): sweeps separated by
+ * barriers; per-processor work is uniformly distributed, giving the
+ * near-uniform barrier waiting times the thesis models.
+ */
+inline std::uint64_t run_barrier_sweeps(std::uint32_t procs,
+                                        WaitingAlgorithm alg,
+                                        std::uint32_t sweeps = 20,
+                                        std::uint32_t mean_work = 3000,
+                                        stats::Samples* profile = nullptr,
+                                        std::uint64_t seed = 1)
+{
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto bar = std::make_shared<WaitingBarrier<SimPlatform>>(procs, alg);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            WaitingBarrier<SimPlatform>::Node node;
+            for (std::uint32_t s = 0; s < sweeps; ++s) {
+                sim::delay(mean_work / 2 + sim::random_below(mean_work));
+                bar->arrive(node, profile);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * FibHeap-like kernel (Figures 4.10/4.14): one hot mutex protecting a
+ * shared priority structure; operations hold it for variable times, so
+ * mutex waiting times spread exponentially.
+ */
+inline std::uint64_t run_fibheap(std::uint32_t procs, WaitingAlgorithm alg,
+                                 std::uint32_t ops_per_proc = 30,
+                                 stats::Samples* profile = nullptr,
+                                 std::uint64_t seed = 1)
+{
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto mu = std::make_shared<WaitingMutex<SimPlatform>>(alg);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < ops_per_proc; ++i) {
+                mu->lock(profile);
+                // Heap op: usually cheap, occasionally a cascade.
+                std::uint32_t hold = 80 + sim::random_below(200);
+                if (sim::random_below(8) == 0)
+                    hold += 1500;
+                sim::delay(hold);
+                mu->unlock();
+                sim::delay(400 + sim::random_below(1200));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Mutex stress kernel (the thesis' "Mutex" microbenchmark): a single
+ * mutex with fixed critical sections and think times.
+ */
+inline std::uint64_t run_mutex_stress(std::uint32_t procs, WaitingAlgorithm alg,
+                                      std::uint32_t ops_per_proc = 40,
+                                      stats::Samples* profile = nullptr,
+                                      std::uint64_t seed = 1)
+{
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto mu = std::make_shared<WaitingMutex<SimPlatform>>(alg);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < ops_per_proc; ++i) {
+                mu->lock(profile);
+                sim::delay(150);
+                mu->unlock();
+                sim::delay(sim::random_below(600));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * CountNet-like kernel (Figure 4.11): a bank of balancer mutexes, each
+ * lightly contended; threads traverse a few balancers per operation, so
+ * most waits are short and the distribution is thin-tailed.
+ */
+inline std::uint64_t run_countnet(std::uint32_t procs, WaitingAlgorithm alg,
+                                  std::uint32_t ops_per_proc = 30,
+                                  std::uint32_t balancers = 16,
+                                  stats::Samples* profile = nullptr,
+                                  std::uint64_t seed = 1)
+{
+    sim::CostModel cm = sim::CostModel::multithreaded(2);
+    sim::Machine m(procs, cm, seed);
+    auto net = std::make_shared<
+        std::vector<std::unique_ptr<WaitingMutex<SimPlatform>>>>();
+    for (std::uint32_t b = 0; b < balancers; ++b)
+        net->push_back(std::make_unique<WaitingMutex<SimPlatform>>(alg));
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            std::uint32_t wire = p % balancers;
+            for (std::uint32_t i = 0; i < ops_per_proc; ++i) {
+                // Traverse log2(balancers)-ish stages.
+                for (std::uint32_t s = 0; s < 4; ++s) {
+                    WaitingMutex<SimPlatform>& b =
+                        *(*net)[(wire + s * 7 + i) % balancers];
+                    b.lock(profile);
+                    sim::delay(40);  // toggle the balancer
+                    b.unlock();
+                    sim::delay(60 + sim::random_below(120));
+                }
+                sim::delay(sim::random_below(400));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+}  // namespace reactive::apps

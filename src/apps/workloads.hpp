@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Application kernels (thesis Sections 3.5.6 and 4.6.2, Table 4.2).
+ *
+ * Each kernel reproduces the *synchronization pattern* of one of the
+ * thesis' applications — which objects exist, which operations hit
+ * them, at what grain, with what contention profile — which is the only
+ * property the thesis uses the applications for. The numerical payload
+ * is a deterministic stand-in (seeded pseudo-random compute delays on
+ * the simulator), a substitution documented in DESIGN.md.
+ *
+ * Chapter 3 kernels (protocol selection):
+ *  - Gamteb: photon-transport Monte Carlo; 9 interaction counters
+ *    updated with fetch-and-increment, one much hotter than the rest.
+ *  - TSP: branch-and-bound over a shared work queue whose enqueue /
+ *    dequeue tickets are fetch-and-increment (fine grain, hot).
+ *  - AQ: adaptive quadrature over the same queue at coarser grain.
+ *  - MP3D: particle-in-cell; per-move cell locks (low contention) plus
+ *    a per-iteration collision-count lock (high contention).
+ *  - Cholesky: sparse-factorization-like task loop with per-column
+ *    locks of skewed popularity.
+ *
+ * Chapter 4 kernels (waiting algorithms) are in waiting_workloads.hpp.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fetchop/fetchop_concepts.hpp"
+#include "locks/lock_concepts.hpp"
+#include "platform/prng.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace reactive::apps {
+
+/**
+ * Gamteb-like kernel. @tparam F FetchOp implementation (the quantity
+ * under study). Each processor simulates `particles` particle
+ * histories; each history performs a few interaction-counter updates
+ * with a skewed counter distribution (the thesis observes one of the
+ * nine counters is hot enough at 128 processors to want combining).
+ * Returns simulated elapsed cycles.
+ */
+template <typename F>
+std::uint64_t run_gamteb(std::uint32_t procs, std::uint32_t particles_per_proc,
+                         std::uint64_t seed = 1)
+{
+    constexpr std::uint32_t kCounters = 9;
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    std::vector<std::shared_ptr<F>> counters;
+    counters.reserve(kCounters);
+    for (std::uint32_t i = 0; i < kCounters; ++i)
+        counters.push_back(std::make_shared<F>(procs));
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=, &m] {
+            (void)m;
+            typename F::Node nodes[kCounters];
+            for (std::uint32_t i = 0; i < particles_per_proc; ++i) {
+                // Track a particle: a few flight segments, each ending
+                // in an interaction that bumps one counter. Counter 0
+                // absorbs half of all interactions (the hot one).
+                const std::uint32_t events = 2 + sim::random_below(3);
+                for (std::uint32_t e = 0; e < events; ++e) {
+                    sim::delay(120 + sim::random_below(240));  // transport
+                    const std::uint32_t r = sim::random_below(2 * kCounters);
+                    const std::uint32_t c =
+                        r < kCounters ? 0 : r - kCounters + 1;
+                    counters[c % kCounters]->fetch_add(nodes[c % kCounters],
+                                                       1);
+                }
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Work-queue kernel shared by the TSP and AQ reproductions: a bounded
+ * concurrent FIFO (Gottlieb-style) whose tickets come from two
+ * fetch-and-increment objects — the synchronization structure the
+ * thesis describes for both applications [18]. Slots hand work across
+ * with full/empty flags.
+ *
+ * Each task performs `grain` +- 50% cycles of work and spawns children
+ * until `total_tasks` have been created; contention on the ticket
+ * counters scales inversely with grain, which is exactly the TSP vs AQ
+ * contrast (TSP = fine grain, AQ = coarse grain).
+ */
+template <typename F>
+std::uint64_t run_queue_app(std::uint32_t procs, std::uint32_t total_tasks,
+                            std::uint32_t grain, std::uint32_t branching = 2,
+                            std::uint64_t seed = 1)
+{
+    struct Slot {
+        sim::Atomic<std::uint32_t> full{0};
+        std::uint32_t payload = 0;  // remaining spawn depth hint
+    };
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto slots = std::make_shared<std::vector<Slot>>(total_tasks + procs + 1);
+    auto head = std::make_shared<F>(procs);   // dequeue tickets
+    auto tail = std::make_shared<F>(procs);   // enqueue tickets
+    auto spawned = std::make_shared<sim::Atomic<std::uint32_t>>(0);
+    auto done = std::make_shared<sim::Atomic<std::uint32_t>>(0);
+
+    // Seed tasks: one per processor.
+    for (std::uint32_t p = 0; p < procs && p < total_tasks; ++p) {
+        (*slots)[p].payload = 1;
+        (*slots)[p].full.store(1);
+    }
+
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename F::Node hn, tn;
+            for (;;) {
+                if (static_cast<std::uint32_t>(done->load()) >= total_tasks)
+                    return;
+                const auto ticket =
+                    static_cast<std::uint32_t>(head->fetch_add(hn, 1));
+                if (ticket >= total_tasks)
+                    return;  // queue drained
+                Slot& s = (*slots)[ticket];
+                while (s.full.load() == 0)
+                    sim::pause();  // producer still writing
+                // Execute the task.
+                sim::delay(grain / 2 + sim::random_below(grain));
+                // Spawn children while the task budget lasts.
+                for (std::uint32_t c = 0; c < branching; ++c) {
+                    const auto id = static_cast<std::uint32_t>(
+                        spawned->fetch_add(1) + procs);
+                    if (id >= total_tasks)
+                        break;
+                    const auto enq =
+                        static_cast<std::uint32_t>(tail->fetch_add(tn, 1)) +
+                        procs;
+                    if (enq < slots->size()) {
+                        (*slots)[enq].payload = 1;
+                        (*slots)[enq].full.store(1);
+                    }
+                }
+                done->fetch_add(1);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/// TSP reproduction: fine-grained tasks (hot ticket counters).
+template <typename F>
+std::uint64_t run_tsp(std::uint32_t procs, std::uint32_t tours = 600,
+                      std::uint64_t seed = 1)
+{
+    return run_queue_app<F>(procs, tours, /*grain=*/700, 2, seed);
+}
+
+/// AQ reproduction: coarse-grained tasks (cool ticket counters).
+template <typename F>
+std::uint64_t run_aq(std::uint32_t procs, std::uint32_t intervals = 300,
+                     std::uint64_t seed = 1)
+{
+    return run_queue_app<F>(procs, intervals, /*grain=*/4000, 2, seed);
+}
+
+/**
+ * MP3D-like kernel. @tparam L lock implementation. `cells` cell locks
+ * see scattered low-contention updates as particles move; after each
+ * sweep every processor updates the single collision-count lock (hot),
+ * reproducing the two contention regimes the thesis describes.
+ */
+template <typename L>
+std::uint64_t run_mp3d(std::uint32_t procs, std::uint32_t particles_per_proc,
+                       std::uint32_t sweeps = 3, std::uint32_t cells = 256,
+                       std::uint64_t seed = 1)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto cell_locks = std::make_shared<std::vector<std::unique_ptr<L>>>();
+    for (std::uint32_t i = 0; i < cells; ++i)
+        cell_locks->push_back(std::make_unique<L>());
+    auto collision_lock = std::make_shared<L>();
+    auto arrived = std::make_shared<sim::Atomic<std::uint32_t>>(0);
+
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t s = 0; s < sweeps; ++s) {
+                for (std::uint32_t i = 0; i < particles_per_proc; ++i) {
+                    sim::delay(150 + sim::random_below(150));  // move particle
+                    L& cl = *(*cell_locks)[sim::random_below(cells)];
+                    typename L::Node n;
+                    cl.lock(n);
+                    sim::delay(40);  // update cell parameters
+                    cl.unlock(n);
+                }
+                // End of sweep: everyone updates the collision counts.
+                {
+                    typename L::Node n;
+                    collision_lock->lock(n);
+                    sim::delay(60);
+                    collision_lock->unlock(n);
+                }
+                // Crude sweep barrier via arrival counting.
+                const std::uint32_t target = (s + 1) * procs;
+                arrived->fetch_add(1);
+                while (static_cast<std::uint32_t>(arrived->load()) < target)
+                    sim::delay(50 + sim::random_below(50));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Cholesky-like kernel: a task loop over sparse column updates with
+ * per-column locks of skewed popularity (dense trailing columns are
+ * touched by many updates — mild but non-uniform contention).
+ */
+template <typename L>
+std::uint64_t run_cholesky(std::uint32_t procs, std::uint32_t updates_per_proc,
+                           std::uint32_t columns = 128, std::uint64_t seed = 1)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto col_locks = std::make_shared<std::vector<std::unique_ptr<L>>>();
+    for (std::uint32_t i = 0; i < columns; ++i)
+        col_locks->push_back(std::make_unique<L>());
+
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < updates_per_proc; ++i) {
+                sim::delay(300 + sim::random_below(500));  // numeric update
+                // Skew toward the trailing (dense) columns: square the
+                // uniform draw.
+                const std::uint32_t r = sim::random_below(columns);
+                const std::uint32_t col =
+                    columns - 1 - (r * r) / (columns ? columns : 1) % columns;
+                L& cl = *(*col_locks)[col % columns];
+                typename L::Node n;
+                cl.lock(n);
+                sim::delay(80);  // scatter-add into the column
+                cl.unlock(n);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+}  // namespace reactive::apps

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The generic protocol-selection framework (thesis Section 3.2 and
+ * Appendix B): protocol objects, the protocol manager, and the naive
+ * lock-guarded protocol object used as the correctness baseline.
+ *
+ * A *protocol object* wraps one protocol and supports:
+ *   - DoProtocol : run the protocol; reports `invalid` if the protocol
+ *                  was not the designated one,
+ *   - Invalidate : retire the protocol (returns true to the single
+ *                  winner),
+ *   - Validate   : bring the protocol to a consistent state and
+ *                  designate it,
+ *   - IsValid    : racy hint.
+ *
+ * The *protocol manager* (Figure 3.6) loops executing whichever object
+ * is valid, returning only results of valid executions, and preserves
+ * the invariant that at most one protocol object is valid.
+ *
+ * Production reactive algorithms (reactive_lock.hpp,
+ * reactive_fetch_op.hpp) collapse this layering into the protocols
+ * themselves using consensus objects (Section 3.2.5/3.2.6). The generic
+ * framework here exists because the thesis presents it as the way to
+ * *derive* such algorithms: the test suite uses it to check
+ * C-serializability properties, and `bench/ablation_framework` measures
+ * the overhead the consensus-object optimization removes (the
+ * lock-guarded variant of Figure 3.7 vs. the fused implementation).
+ */
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "locks/tts_lock.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+// clang-format off
+/**
+ * Protocol-object concept (Figure 3.5). `Op` is the request type;
+ * `Result` the response. DoProtocol returns nullopt for invalid
+ * executions, which the manager turns into a retry.
+ */
+template <typename PO>
+concept ProtocolObject = requires(PO po, typename PO::Op op) {
+    typename PO::Op;
+    typename PO::Result;
+    { po.do_protocol(op) } -> std::same_as<std::optional<typename PO::Result>>;
+    { po.invalidate() } -> std::same_as<bool>;
+    { po.validate() } -> std::same_as<void>;
+    { po.is_valid() } -> std::same_as<bool>;
+};
+// clang-format on
+
+/**
+ * The naive protocol object of Figure 3.7: every operation runs under a
+ * lock. Correct by construction (operations serialize), but it
+ * serializes protocol executions and adds a lock acquisition to every
+ * synchronization operation — the two defects (Section 3.2.4) that
+ * motivate consensus objects. Kept as the reference implementation for
+ * differential tests and the framework-overhead ablation.
+ *
+ * @tparam P        Platform model.
+ * @tparam Protocol underlying protocol: provides Op/Result, run(Op),
+ *                  and update() (reset to a consistent state).
+ */
+template <Platform P, typename Protocol>
+class LockedProtocolObject {
+  public:
+    using Op = typename Protocol::Op;
+    using Result = typename Protocol::Result;
+
+    explicit LockedProtocolObject(bool initially_valid = false, Protocol proto = {})
+        : protocol_(std::move(proto)), valid_(initially_valid ? 1u : 0u)
+    {
+    }
+
+    std::optional<Result> do_protocol(Op op)
+    {
+        typename TtsLock<P>::Node n;
+        guard_.lock(n);
+        std::optional<Result> r;
+        if (valid_.load(std::memory_order_relaxed) != 0)
+            r = protocol_.run(op);
+        guard_.unlock(n);
+        return r;
+    }
+
+    bool invalidate()
+    {
+        typename TtsLock<P>::Node n;
+        guard_.lock(n);
+        const bool won = valid_.load(std::memory_order_relaxed) != 0;
+        valid_.store(0, std::memory_order_relaxed);
+        guard_.unlock(n);
+        return won;
+    }
+
+    void validate()
+    {
+        typename TtsLock<P>::Node n;
+        guard_.lock(n);
+        if (valid_.load(std::memory_order_relaxed) == 0) {
+            protocol_.update();
+            valid_.store(1, std::memory_order_relaxed);
+        }
+        guard_.unlock(n);
+    }
+
+    bool is_valid() const
+    {
+        return valid_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /// Direct access for state transfer during protocol changes.
+    Protocol& protocol() { return protocol_; }
+
+  private:
+    TtsLock<P> guard_;
+    Protocol protocol_;
+    typename P::template Atomic<std::uint32_t> valid_;
+};
+
+/**
+ * The protocol manager of Figure 3.6, for two protocol objects sharing
+ * Op/Result types. `do_synch_op` returns only results from valid
+ * executions; `do_change` preserves the at-most-one-valid invariant by
+ * validating only after winning the invalidation of the other object.
+ */
+template <ProtocolObject A, ProtocolObject B>
+    requires std::same_as<typename A::Op, typename B::Op> &&
+             std::same_as<typename A::Result, typename B::Result>
+class ProtocolManager {
+  public:
+    ProtocolManager(A& a, B& b) : a_(a), b_(b) {}
+
+    typename A::Result do_synch_op(typename A::Op op)
+    {
+        for (;;) {
+            if (a_.is_valid()) {
+                if (auto r = a_.do_protocol(op))
+                    return *r;
+            } else if (b_.is_valid()) {
+                if (auto r = b_.do_protocol(op))
+                    return *r;
+            }
+        }
+    }
+
+    /// Requests a protocol change (either direction).
+    void do_change()
+    {
+        if (a_.invalidate())
+            b_.validate();
+        else if (b_.invalidate())
+            a_.validate();
+    }
+
+  private:
+    A& a_;
+    B& b_;
+};
+
+}  // namespace reactive

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The reactive spin lock (thesis Sections 3.3.1 and 3.7.3, Figures
+ * 3.27-3.29): dynamically selects between the test-and-test-and-set
+ * protocol (best at low contention) and an MCS-style queue protocol
+ * (best at high contention).
+ *
+ * Design highlights, all from the thesis:
+ *
+ *  - **Consensus objects instead of locks.** The TTS lock word is the
+ *    TTS protocol's consensus object; the queue tail pointer is the
+ *    queue protocol's. The algorithm maintains the invariant that the
+ *    two sub-locks are never free at the same time, so possessing a
+ *    freshly-free sub-lock *is* possessing the valid protocol. Invalid
+ *    protocols are left busy (TTS) or marked with an INVALID tail
+ *    sentinel (queue), so a process executing the wrong protocol simply
+ *    finds it busy and retries through the dispatcher. No extra
+ *    synchronization sits on the common-case critical path.
+ *  - **The mode variable is only a hint** (Section 3.3.1): it speeds up
+ *    dispatch and is usually read-cached; the race between reading it
+ *    and running a protocol is benign by the invariant above.
+ *  - **Optimistic test&set fast path** (Section 3.7.3): acquisition
+ *    first tries the TTS lock without even reading the mode variable,
+ *    optimizing the no-contention latency; if the lock is in queue mode
+ *    the attempt fails harmlessly (and pre-fetches the line).
+ *  - **Protocol changes are made only by the lock holder** (a process
+ *    with the valid consensus object), which serializes changes against
+ *    all protocol executions — the C-serializability argument of
+ *    Section 3.2.5.
+ *  - **Monitoring rides on waiting** (Section 3.2.6): failed test&set
+ *    counts and empty-queue observations are collected in code that was
+ *    already spinning, and fed to a pluggable switching policy
+ *    (Section 3.4) whose state is only touched in-consensus.
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+#include "core/policy.hpp"
+#include "core/reactive_queue.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// Tunables for the reactive lock's contention monitors.
+struct ReactiveLockParams {
+    /// Failed test&set attempts within one acquisition that mark it
+    /// "contended" (the TTS->queue signal).
+    std::uint32_t tts_retry_limit = 8;
+    /// Backoff while spinning on the TTS protocol.
+    BackoffParams backoff = BackoffParams::for_contenders(64);
+    /// Optimistic test&set fast path before consulting the mode hint
+    /// (Section 3.7.3). Disable only for the ablation benchmark.
+    bool optimistic_tts = true;
+};
+
+/**
+ * Reactive spin lock selecting between TTS and MCS queue protocols.
+ *
+ * Usage mirrors the thesis code: `acquire` returns a release token that
+ * encodes both which protocol the caller holds and whether a protocol
+ * change is due on release; the token must be passed to `release`.
+ * `ReactiveMutex` wraps this into an RAII interface.
+ *
+ * @tparam P      Platform model.
+ * @tparam Policy switching policy (Section 3.4).
+ */
+template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+class ReactiveLock {
+  public:
+    /// Which protocol currently services requests (the hint variable).
+    enum class Mode : std::uint32_t { kTts = 0, kQueue = 1 };
+
+    /// Release token: protocol held plus any pending protocol change.
+    enum class ReleaseMode : std::uint32_t {
+        kTts,         ///< release the TTS lock
+        kQueue,       ///< release the queue lock
+        kTtsToQueue,  ///< release and change TTS -> queue
+        kQueueToTts,  ///< release and change queue -> TTS
+    };
+
+    /// Queue node; must live from acquire() to release().
+    using Node = typename ReactiveQueue<P>::Node;
+
+    ReactiveLock() : ReactiveLock(ReactiveLockParams{}, Policy{}) {}
+
+    explicit ReactiveLock(ReactiveLockParams params, Policy policy = Policy{})
+        : queue_(/*initially_valid=*/false), params_(params), policy_(policy)
+    {
+        // Initial state per Figure 3.27: TTS valid and free, queue
+        // invalid, mode = TTS.
+        mode_->store(static_cast<std::uint32_t>(Mode::kTts),
+                     std::memory_order_relaxed);
+        tts_lock_.store(kFree, std::memory_order_relaxed);
+    }
+
+    /// Acquires the lock; returns the token to pass to release().
+    ReleaseMode acquire(Node& node)
+    {
+        // Optimistic test&set (Section 3.7.3): correct regardless of
+        // mode because a free TTS lock implies the TTS protocol is the
+        // valid one. Note that, as in the thesis' Figure 3.27, the fast
+        // path performs *no* monitoring: a fast-path win says nothing
+        // reliable about contention, and feeding it to a streak-based
+        // policy as "uncontended" would break hysteresis streaks that
+        // spinning acquirers are legitimately building.
+        if (params_.optimistic_tts &&
+            tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree)
+            return ReleaseMode::kTts;
+        // Dispatch loop: each protocol attempt either succeeds or
+        // observes that its protocol was retired and retries with the
+        // other one (the protocol-manager loop of Figure 3.6, flattened
+        // into the lock per Section 3.2.6).
+        Mode m = mode();
+        for (;;) {
+            if (m == Mode::kTts) {
+                if (auto r = try_acquire_tts())
+                    return *r;
+                m = Mode::kQueue;
+            } else {
+                if (auto r = try_acquire_queue(node))
+                    return *r;
+                m = Mode::kTts;
+            }
+        }
+    }
+
+    /// Releases the lock, performing any pending protocol change.
+    void release(Node& node, ReleaseMode mode)
+    {
+        switch (mode) {
+        case ReleaseMode::kTts:
+            release_tts();
+            break;
+        case ReleaseMode::kQueue:
+            queue_.release(node);
+            break;
+        case ReleaseMode::kTtsToQueue:
+            release_tts_to_queue(node);
+            break;
+        case ReleaseMode::kQueueToTts:
+            release_queue_to_tts(node);
+            break;
+        }
+    }
+
+    /// Current protocol hint (tests and monitoring).
+    Mode mode() const
+    {
+        return static_cast<Mode>(mode_.value.load(std::memory_order_relaxed));
+    }
+
+    /// Number of completed protocol changes (tests and experiments).
+    std::uint64_t protocol_changes() const { return protocol_changes_; }
+
+    /// Policy state access (in-consensus callers only).
+    Policy& policy() { return policy_; }
+
+  private:
+    static constexpr std::uint32_t kFree = 0;
+    static constexpr std::uint32_t kBusy = 1;
+
+    /// Bookkeeping common to every successful TTS acquisition; the
+    /// caller holds the lock, so policy state is safe to touch.
+    ReleaseMode tts_acquired(bool contended)
+    {
+        return policy_.on_tts_acquire(contended) ? ReleaseMode::kTtsToQueue
+                                                 : ReleaseMode::kTts;
+    }
+
+    /// Figure 3.28 acquire_tts: spin with backoff, count failed
+    /// attempts; returns nullopt if the mode changed (caller retries
+    /// with the queue protocol).
+    std::optional<ReleaseMode> try_acquire_tts()
+    {
+        ExpBackoff<P> backoff(params_.backoff);
+        std::uint32_t retries = 0;
+        bool contended = false;
+        for (;;) {
+            if (tts_lock_.load(std::memory_order_relaxed) == kFree) {
+                if (tts_lock_.exchange(kBusy, std::memory_order_acquire) ==
+                    kFree)
+                    return tts_acquired(contended);
+                if (++retries > params_.tts_retry_limit)
+                    contended = true;
+            }
+            backoff.pause();
+            if (mode_.value.load(std::memory_order_relaxed) !=
+                static_cast<std::uint32_t>(Mode::kTts))
+                return std::nullopt;
+        }
+    }
+
+    /// Figure 3.28 acquire_queue; nullopt when the queue protocol was
+    /// (or became) invalid — retry with TTS.
+    std::optional<ReleaseMode> try_acquire_queue(Node& node)
+    {
+        switch (queue_.acquire(node)) {
+        case ReactiveQueue<P>::Outcome::kAcquiredEmpty:
+            // An empty queue signals low contention.
+            return policy_.on_queue_acquire(/*empty=*/true)
+                       ? ReleaseMode::kQueueToTts
+                       : ReleaseMode::kQueue;
+        case ReactiveQueue<P>::Outcome::kAcquiredWaited:
+            return policy_.on_queue_acquire(/*empty=*/false)
+                       ? ReleaseMode::kQueueToTts
+                       : ReleaseMode::kQueue;
+        case ReactiveQueue<P>::Outcome::kInvalid:
+        default:
+            return std::nullopt;
+        }
+    }
+
+    void release_tts()
+    {
+        tts_lock_.store(kFree, std::memory_order_release);
+    }
+
+    /// Figure 3.29 release_tts_to_queue: the holder validates the queue
+    /// protocol, flips the hint, then releases via the queue. The TTS
+    /// lock is left busy (= invalid).
+    void release_tts_to_queue(Node& node)
+    {
+        queue_.acquire_invalid(node);
+        mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
+                          std::memory_order_release);
+        ++protocol_changes_;
+        policy_.on_switch();
+        queue_.release(node);
+    }
+
+    /// Figure 3.29 release_queue_to_tts: flip the hint, dismantle the
+    /// queue (waking waiters with INVALID so they retry via TTS), then
+    /// free the TTS lock. The queue is left invalid.
+    void release_queue_to_tts(Node& node)
+    {
+        mode_.value.store(static_cast<std::uint32_t>(Mode::kTts),
+                          std::memory_order_release);
+        ++protocol_changes_;
+        policy_.on_switch();
+        queue_.invalidate(&node);
+        release_tts();
+    }
+
+    // The mode hint lives on its own (mostly-read) cache line, separate
+    // from the frequently written lock words (Section 3.2.6).
+    CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
+    alignas(kCacheLineSize) typename P::template Atomic<std::uint32_t>
+        tts_lock_{kFree};
+    ReactiveQueue<P> queue_;
+
+    ReactiveLockParams params_;
+    Policy policy_;                        // mutated in-consensus only
+    std::uint64_t protocol_changes_ = 0;   // mutated in-consensus only
+};
+
+}  // namespace reactive

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * RAII facade over the reactive spin lock.
+ *
+ * The thesis emphasizes that reactive algorithms are drop-in library
+ * replacements: "although the protocol and waiting mechanism in use may
+ * change dynamically, the interface to the application program remains
+ * constant" (Section 1.1). `ReactiveMutex` provides the conventional
+ * lock()/unlock() and scoped-guard interface on top of
+ * `ReactiveLock::acquire/release`, stashing the queue node and release
+ * token in the guard.
+ */
+#pragma once
+
+#include "core/reactive_lock.hpp"
+
+namespace reactive {
+
+/**
+ * Mutex-shaped wrapper. Prefer `ReactiveMutex::Guard` (scoped); the
+ * lock()/unlock() pair is provided for code that cannot scope, at the
+ * cost of one slot of per-mutex state for the unpaired node.
+ */
+template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+class ReactiveMutex {
+  public:
+    using Lock = ReactiveLock<P, Policy>;
+
+    ReactiveMutex() = default;
+    explicit ReactiveMutex(ReactiveLockParams params, Policy policy = Policy{})
+        : lock_(params, policy)
+    {
+    }
+
+    /// Scoped ownership; holds the queue node on the caller's stack.
+    class Guard {
+      public:
+        explicit Guard(ReactiveMutex& m) : mutex_(m)
+        {
+            release_mode_ = mutex_.lock_.acquire(node_);
+        }
+        ~Guard() { mutex_.lock_.release(node_, release_mode_); }
+
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+      private:
+        ReactiveMutex& mutex_;
+        typename Lock::Node node_;
+        typename Lock::ReleaseMode release_mode_;
+    };
+
+    /// Underlying reactive lock (monitoring, tests).
+    Lock& lock() { return lock_; }
+
+  private:
+    Lock lock_;
+};
+
+/**
+ * NodeLock-conforming adapter over ReactiveLock, for generic code
+ * written against the plain lock interface (benchmark harnesses,
+ * application kernels). The release token rides inside the Node.
+ */
+template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+class ReactiveNodeLock {
+  public:
+    using Inner = ReactiveLock<P, Policy>;
+
+    struct Node {
+        typename Inner::Node qnode;
+        typename Inner::ReleaseMode rm{};
+    };
+
+    ReactiveNodeLock() = default;
+    explicit ReactiveNodeLock(ReactiveLockParams params, Policy policy = Policy{})
+        : inner_(params, policy)
+    {
+    }
+
+    void lock(Node& n) { n.rm = inner_.acquire(n.qnode); }
+    void unlock(Node& n) { inner_.release(n.qnode, n.rm); }
+
+    Inner& inner() { return inner_; }
+
+  private:
+    Inner inner_;
+};
+
+}  // namespace reactive

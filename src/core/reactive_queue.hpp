@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Invalidatable MCS-style queue: the queue-protocol component shared by
+ * the reactive spin lock (Section 3.3.1) and the reactive fetch-and-op
+ * (Section 3.3.2 / Appendix C).
+ *
+ * This is the MCS queue lock (fetch&store-only release, as on Alewife)
+ * extended with the three mechanisms the reactive framework needs:
+ *
+ *  - the tail pointer doubles as the protocol's *consensus object*: a
+ *    distinguished INVALID sentinel marks the protocol retired;
+ *  - waiters can be signalled INVALID (instead of GO) so they abort and
+ *    retry the operation with the currently valid protocol;
+ *  - a process holding the valid consensus object of another protocol
+ *    can capture an INVALID tail (`acquire_invalid`) to become the
+ *    queue's holder while validating it, and a holder can retire the
+ *    queue (`invalidate`), waking every waiter with INVALID.
+ *
+ * The usurper-repair path of the MCS release additionally handles the
+ * reactive-only race where the usurper retires the protocol while the
+ * repair is in flight (it dismantles the victim chain).
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// See file header. All members are lock-free of extra state: the queue
+/// *is* its own consensus object.
+template <Platform P>
+class ReactiveQueue {
+  public:
+    static constexpr std::uint32_t kWaiting = 0;
+    static constexpr std::uint32_t kGo = 1;
+    static constexpr std::uint32_t kInvalid = 2;
+
+    struct Node {
+        typename P::template Atomic<Node*> next{nullptr};
+        typename P::template Atomic<std::uint32_t> status{kWaiting};
+    };
+
+    /// How an acquisition attempt concluded.
+    enum class Outcome {
+        kAcquiredEmpty,   ///< got the lock, queue was empty (low contention)
+        kAcquiredWaited,  ///< got the lock after queuing behind a holder
+        kInvalid,         ///< protocol retired; retry with the other one
+    };
+
+    /// @param initially_valid false leaves the tail INVALID (the state a
+    ///        reactive algorithm starts its non-designated protocols in).
+    explicit ReactiveQueue(bool initially_valid = false)
+    {
+        tail_.store(initially_valid ? nullptr : invalid_tail(),
+                    std::memory_order_relaxed);
+    }
+
+    /// Attempts to acquire the queue lock with @p node.
+    Outcome acquire(Node& node)
+    {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.status.store(kWaiting, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == nullptr)
+            return Outcome::kAcquiredEmpty;
+        if (pred == invalid_tail()) {
+            // We appended onto an invalid queue; dismantle the bogus
+            // chain we now head so anyone queued behind us retries too.
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        pred->next.store(&node, std::memory_order_release);
+        std::uint32_t s;
+        while ((s = node.status.load(std::memory_order_acquire)) == kWaiting)
+            P::pause();
+        return s == kGo ? Outcome::kAcquiredWaited : Outcome::kInvalid;
+    }
+
+    /**
+     * Releases the queue lock held with @p node (fetch&store-only MCS
+     * release with usurper repair). Handles the reactive race where the
+     * usurper retires the protocol during the repair.
+     */
+    void release(Node& node)
+    {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        if (succ == nullptr) {
+            Node* old_tail =
+                tail_.exchange(nullptr, std::memory_order_acq_rel);
+            if (old_tail == &node)
+                return;  // truly no successor
+            // Someone enqueued while we were emptying the queue. The
+            // instant the tail went nullptr the lock was up for grabs;
+            // the usurper (if any) is the legitimate holder now and may
+            // even have performed a protocol change already.
+            Node* usurper =
+                tail_.exchange(old_tail, std::memory_order_acq_rel);
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            if (usurper == invalid_tail()) {
+                // The usurper retired the protocol: dismantle the victim
+                // chain; victims retry with the valid protocol.
+                invalidate(succ);
+            } else if (usurper != nullptr) {
+                usurper->next.store(succ, std::memory_order_release);
+            } else {
+                succ->status.store(kGo, std::memory_order_release);
+            }
+            return;
+        }
+        succ->status.store(kGo, std::memory_order_release);
+    }
+
+    /**
+     * Captures the INVALID tail, making @p node the holder of a
+     * freshly validated queue. Must be called only by a process holding
+     * the valid consensus object of another protocol (serialization of
+     * protocol changes, Section 3.2.5). Competing bogus chains from
+     * late wrong-protocol arrivals are waited out.
+     */
+    void acquire_invalid(Node& node)
+    {
+        for (;;) {
+            node.next.store(nullptr, std::memory_order_relaxed);
+            node.status.store(kWaiting, std::memory_order_relaxed);
+            Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+            if (pred == invalid_tail())
+                return;
+            assert(pred != nullptr &&
+                   "queue must not be valid-free while another protocol "
+                   "is valid");
+            pred->next.store(&node, std::memory_order_release);
+            while (node.status.load(std::memory_order_acquire) == kWaiting)
+                P::pause();
+        }
+    }
+
+    /**
+     * Retires the queue protocol: swings the tail to INVALID and walks
+     * the chain from @p head signalling INVALID to every node. Callers:
+     * the queue holder performing a protocol change (head = its own
+     * node), or internal cleanup paths.
+     */
+    void invalidate(Node* head)
+    {
+        Node* tail = tail_.exchange(invalid_tail(), std::memory_order_acq_rel);
+        while (head != tail) {
+            Node* next;
+            while ((next = head->next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            head->status.store(kInvalid, std::memory_order_release);
+            head = next;
+        }
+        head->status.store(kInvalid, std::memory_order_release);
+    }
+
+    /// Racy check used by tests.
+    bool is_invalid() const
+    {
+        return tail_.load(std::memory_order_relaxed) == invalid_tail();
+    }
+
+  private:
+    static Node* invalid_tail()
+    {
+        return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(1));
+    }
+
+    typename P::template Atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace reactive

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Software combining tree for fetch-and-op (thesis Section 3.1.2 and
+ * Appendix C).
+ *
+ * The thesis uses Goodman, Vernon & Woest's combining tree [15]; its
+ * four-part pseudo-code appears only as figures in the original. This
+ * implementation follows the equivalent rendezvous formulation of the
+ * same protocol (as popularized by Herlihy & Shavit): processes ascend
+ * the radix-2 tree; when two meet at a node their operations are
+ * combined and one of them proceeds with the combined operation while
+ * the other waits at that node; the process reaching the root applies
+ * the combined operation and descends, distributing results. The
+ * combining behaviour — O(log P) latency, parallel throughput, one root
+ * update per combined batch — is what every Chapter 3 experiment
+ * measures, and is identical between the two formulations.
+ *
+ * Reactive-algorithm hooks (Appendix C / Section 3.3.2): the root is the
+ * protocol's *consensus object*. It carries a validity flag;
+ * `invalidate()` / `validate()` take the root's node lock, so protocol
+ * changes serialize with root operations exactly as the consensus-object
+ * framework requires. A process that reaches an invalid root descends
+ * the tree distributing "retry" to everyone it combined with, and
+ * `apply()` reports failure so the caller can retry with another
+ * protocol. Each combined batch also piggybacks a request count so the
+ * process performing the root update can observe the combining rate
+ * (the statistic the reactive fetch-and-op's switching policy monitors).
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#ifdef REACTIVE_TREE_TRACE
+#include <cstdio>
+#define RTREE_TRACE(...) std::fprintf(stderr, __VA_ARGS__)
+#else
+#define RTREE_TRACE(...) (void)0
+#endif
+#include <cstdint>
+#include <vector>
+
+#include "fetchop/fetchop_concepts.hpp"
+#include "platform/cache_line.hpp"
+#ifdef REACTIVE_TREE_TRACE
+#include "sim/machine.hpp"
+#endif
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// Result of one combining-tree operation.
+struct TreeResult {
+    FetchOpValue prior = 0;      ///< value before this op (valid only if ok)
+    std::uint32_t combined = 0;  ///< requests in the batch (root performer only)
+    bool ok = false;             ///< false => root was invalid, retry elsewhere
+    bool at_root = false;        ///< true if this process performed the root op
+    bool root_retired = false;   ///< true if the root hook invalidated the root
+    FetchOpValue value_after = 0;  ///< variable value after this batch (root
+                                   ///< performer only; used for state transfer
+                                   ///< during protocol changes)
+};
+
+/**
+ * Radix-2 software combining tree computing fetch-and-add.
+ *
+ * Correct for any number of concurrent processes and any leaf mapping
+ * (a node admits two active processes per combining round; later
+ * arrivals wait for the next round). Performance is best when at most
+ * two processes map to each leaf, matching the thesis' configuration of
+ * one leaf per processor pair equivalent.
+ */
+template <Platform P>
+class CombiningTree {
+    enum Status : std::uint32_t {
+        kIdle = 0,
+        kFirst = 1,
+        kSecond = 2,
+        kResult = 3,
+        kRoot = 4,
+    };
+
+    struct alignas(kCacheLineSize) TreeNode {
+        typename P::template Atomic<std::uint32_t> mutex{0};  ///< node spinlock
+        std::uint32_t status = kIdle;
+        bool busy = false;       ///< rendezvous gate ("locked" in the literature)
+        bool result_ok = false;  ///< validity of distributed result
+        FetchOpValue first_delta = 0;   ///< combined delta of the FIRST process
+        std::uint32_t first_count = 0;  ///< batch size of the FIRST process
+        FetchOpValue second_delta = 0;  ///< deposit of the SECOND process
+        std::uint32_t second_count = 0;
+        FetchOpValue result = 0;  ///< at root: the variable; else distributed value
+        TreeNode* parent = nullptr;
+    };
+
+  public:
+    static constexpr std::uint32_t kMaxDepth = 32;
+
+    /// Per-call context: the leaf this process enters the tree at.
+    struct Node {
+        std::uint32_t leaf = 0;
+    };
+
+    /**
+     * @param width   number of leaves (rounded up to a power of two).
+     * @param initial initial value of the fetch-and-op variable.
+     */
+    explicit CombiningTree(std::uint32_t width = 32, FetchOpValue initial = 0)
+        : width_(round_up_pow2(width)), nodes_(2 * width_ - 1)
+    {
+        for (std::uint32_t i = 1; i < nodes_.size(); ++i)
+            nodes_[i].value.parent = &nodes_[(i - 1) / 2].value;
+        nodes_[0].value.status = kRoot;
+        nodes_[0].value.result = initial;
+        root_valid_ = true;
+    }
+
+    /**
+     * Performs fetch-and-add of @p delta entering at @p node.leaf.
+     *
+     * On success returns {prior, batch, ok=true}. If the root was found
+     * invalid (reactive protocol change in progress), every process in
+     * the combined batch receives ok=false and must retry with the
+     * currently valid protocol.
+     */
+    TreeResult apply(Node& node, FetchOpValue delta)
+    {
+        return apply(node, delta, [](std::uint32_t) { return false; });
+    }
+
+    /**
+     * Like apply(), with a root hook for the reactive algorithm
+     * (Section 3.3.2): after a valid root update the hook is invoked —
+     * under the root's node lock, i.e. in-consensus — with the batch
+     * size that reached the root. Returning true retires the root
+     * (root_valid <- false); the performer learns this via
+     * `root_retired`/`value_after` and carries the state to the next
+     * protocol. The current batch still completes normally.
+     */
+    template <typename RootHook>
+    TreeResult apply(Node& node, FetchOpValue delta, RootHook&& hook)
+    {
+        TreeNode* leaf = &nodes_[width_ - 1 + (node.leaf % width_)].value;
+        TreeNode* path[kMaxDepth];
+        std::uint32_t depth = 0;
+
+        // Pre-combining phase: ascend while we are the first arrival.
+        TreeNode* stop = leaf;
+        while (precombine(stop))
+            stop = stop->parent;
+
+        // Combining phase: lock our path and accumulate deposits.
+        FetchOpValue combined_delta = delta;
+        std::uint32_t combined_count = 1;
+        for (TreeNode* n = leaf; n != stop; n = n->parent) {
+            RTREE_TRACE("combE n=%ld enter\n", long(n - &nodes_[0].value));
+            combine(n, combined_delta, combined_count);
+            assert(depth < kMaxDepth);
+            path[depth++] = n;
+        }
+
+        // Operation phase: apply at the root, or rendezvous at our stop
+        // node and wait for the distributed result.
+        TreeResult res = op(stop, combined_delta, combined_count, hook);
+
+        // Distribution phase: hand results (or retry signals) back down.
+        while (depth > 0) {
+            TreeNode* n = path[--depth];
+            distribute(n, res.prior, res.ok);
+        }
+        return res;
+    }
+
+    /// FetchOp-concept interface: retries until a valid root op succeeds.
+    FetchOpValue fetch_add(Node& node, FetchOpValue delta)
+    {
+        for (;;) {
+            TreeResult r = apply(node, delta);
+            if (r.ok)
+                return r.prior;
+            P::pause();
+        }
+    }
+
+    /**
+     * Invalidates the root consensus object.
+     * @return true if this call transitioned valid -> invalid.
+     */
+    bool invalidate()
+    {
+        TreeNode* root = &nodes_[0].value;
+        lock_node(root);
+        const bool won = root_valid_;
+        root_valid_ = false;
+        unlock_node(root);
+        return won;
+    }
+
+    /// Updates the variable and re-validates the root consensus object.
+    void validate(FetchOpValue value)
+    {
+        TreeNode* root = &nodes_[0].value;
+        lock_node(root);
+        root->result = value;
+        root_valid_ = true;
+        unlock_node(root);
+    }
+
+    /// Racy validity check (a hint, exactly like the thesis' mode variable).
+    bool is_valid() const { return root_valid_; }
+
+    /// Reads the current value (takes the root lock).
+    FetchOpValue read()
+    {
+        TreeNode* root = &nodes_[0].value;
+        lock_node(root);
+        const FetchOpValue v = root->result;
+        unlock_node(root);
+        return v;
+    }
+
+    std::uint32_t width() const { return width_; }
+
+  private:
+    static std::uint32_t round_up_pow2(std::uint32_t w)
+    {
+        std::uint32_t r = 1;
+        while (r < w)
+            r <<= 1;
+        return r;
+    }
+
+    void lock_node(TreeNode* n)
+    {
+#ifdef REACTIVE_TREE_TRACE
+        long spins = 0;
+        static long ev = 0;
+#endif
+        std::uint32_t bound = 16;
+        for (;;) {
+            while (n->mutex.load(std::memory_order_relaxed) != 0) {
+                P::pause();
+#ifdef REACTIVE_TREE_TRACE
+                if (++spins % 50000 == 0)
+                    RTREE_TRACE("spinL n=%ld mutex busy=%d status=%u\n",
+                                long(n - &nodes_[0].value), (int)n->busy, n->status);
+#endif
+            }
+#ifdef REACTIVE_TREE_TRACE
+            bool got = n->mutex.exchange(1, std::memory_order_acquire) == 0;
+            if (long(n - &nodes_[0].value) == 1 && ++ev < 60)
+                RTREE_TRACE("cpu%u ex n=1 got=%d\n", ::reactive::sim::current_cpu(), (int)got);
+            if (got) return;
+#else
+            if (n->mutex.exchange(1, std::memory_order_acquire) == 0)
+                return;
+#endif
+            poll_pause(bound);  // lost the race: re-poll politely
+#ifdef REACTIVE_TREE_TRACE
+            if (++spins % 50000 == 0)
+                RTREE_TRACE("spinX n=%ld exchange-fail busy=%d status=%u\n",
+                            long(n - &nodes_[0].value), (int)n->busy, n->status);
+#endif
+        }
+    }
+
+    void unlock_node(TreeNode* n)
+    {
+        n->mutex.store(0, std::memory_order_release);
+#ifdef REACTIVE_TREE_TRACE
+        static long uev = 0;
+        if (long(n - &nodes_[0].value) == 1 && ++uev < 60)
+            RTREE_TRACE("cpu%u un n=1\n", ::reactive::sim::current_cpu());
+#endif
+    }
+
+    /// Randomized, growing poll interval for the tree's wait loops.
+    /// Plain periodic polling can phase-lock two processes sharing a
+    /// node (each always sampling while the other holds it); the delay
+    /// must also be able to exceed a coherence transaction's service
+    /// time or the interleaving order never changes. This is the
+    /// randomized backoff the thesis prescribes for every contended
+    /// spin loop (Section 3.1.1).
+    static void poll_pause(std::uint32_t& bound)
+    {
+        P::delay(P::random_below(bound));
+        if (bound < 512)
+            bound <<= 1;
+        P::pause();
+    }
+
+    /**
+     * First-arrival check at @p n. Returns true if the caller should
+     * continue ascending (it was first), false if @p n is its stop node.
+     * Unexpected states (a previous round still draining) are waited out,
+     * which is what makes the tree safe for >2 processes per leaf.
+     */
+    bool precombine(TreeNode* n)
+    {
+#ifdef REACTIVE_TREE_TRACE
+        long spins = 0;
+#endif
+        std::uint32_t bound = 16;
+        for (;;) {
+#ifdef REACTIVE_TREE_TRACE
+            if (++spins % 50000 == 0)
+                RTREE_TRACE("spinP n=%ld busy=%d status=%u\n",
+                            long(n - &nodes_[0].value), (int)n->busy, n->status);
+#endif
+            lock_node(n);
+            if (!n->busy) {
+                switch (n->status) {
+                case kIdle:
+                    n->status = kFirst;
+                    unlock_node(n);
+                    RTREE_TRACE("pre  n=%ld FIRST\n", long(n - &nodes_[0].value));
+                    return true;
+                case kFirst:
+                    n->busy = true;  // bar the first process until we deposit
+                    n->status = kSecond;
+                    unlock_node(n);
+                    RTREE_TRACE("pre  n=%ld SECOND\n", long(n - &nodes_[0].value));
+                    return false;
+                case kRoot:
+                    unlock_node(n);
+                    return false;
+                default:
+                    break;  // kSecond/kResult: previous round draining
+                }
+            }
+            unlock_node(n);
+            poll_pause(bound);
+        }
+    }
+
+    /**
+     * Combining step at a path node: waits for a possible second
+     * process' deposit, then folds it into the accumulator and re-bars
+     * the node until distribution.
+     */
+    void combine(TreeNode* n, FetchOpValue& delta, std::uint32_t& count)
+    {
+#ifdef REACTIVE_TREE_TRACE
+        long spins = 0;
+#endif
+        std::uint32_t bound = 16;
+        for (;;) {
+            lock_node(n);
+            if (!n->busy)
+                break;
+            unlock_node(n);
+            poll_pause(bound);
+#ifdef REACTIVE_TREE_TRACE
+            if (++spins % 50000 == 0)
+                RTREE_TRACE("spinC n=%ld busy=%d status=%u\n",
+                            long(n - &nodes_[0].value), (int)n->busy, n->status);
+#endif
+        }
+        n->busy = true;
+        n->first_delta = delta;
+        n->first_count = count;
+        if (n->status == kSecond) {
+            delta += n->second_delta;
+            count += n->second_count;
+        }
+        unlock_node(n);
+        RTREE_TRACE("comb n=%ld status=%u delta=%lld\n", long(n - &nodes_[0].value), n->status, (long long)delta);
+    }
+
+    /// Root update (consensus object access) or rendezvous wait.
+    template <typename RootHook>
+    TreeResult op(TreeNode* stop, FetchOpValue delta, std::uint32_t count,
+                  RootHook&& hook)
+    {
+        TreeResult res;
+        lock_node(stop);
+        if (stop->status == kRoot) {
+            RTREE_TRACE("root delta=%lld count=%u\n", (long long)delta, count);
+            res.at_root = true;
+            res.combined = count;
+            if (root_valid_) {
+                res.ok = true;
+                res.prior = stop->result;
+                stop->result += delta;
+                res.value_after = stop->result;
+                if (hook(count)) {
+                    root_valid_ = false;
+                    res.root_retired = true;
+                }
+            }
+            unlock_node(stop);
+            return res;
+        }
+        // We are the SECOND process at our stop node: deposit our batch,
+        // release the gate so the FIRST process can combine past us, and
+        // wait for the distributed result.
+        assert(stop->status == kSecond);
+        stop->second_delta = delta;
+        stop->second_count = count;
+        stop->busy = false;
+        unlock_node(stop);
+        RTREE_TRACE("dep  n=%ld delta=%lld\n", long(stop - &nodes_[0].value), (long long)delta);
+
+#ifdef REACTIVE_TREE_TRACE
+        long spins = 0;
+#endif
+        std::uint32_t bound = 16;
+        for (;;) {
+            lock_node(stop);
+            if (stop->status == kResult)
+                break;
+            unlock_node(stop);
+            poll_pause(bound);
+#ifdef REACTIVE_TREE_TRACE
+            if (++spins % 50000 == 0)
+                RTREE_TRACE("spinR n=%ld busy=%d status=%u\n",
+                            long(stop - &nodes_[0].value), (int)stop->busy, stop->status);
+#endif
+        }
+        res.ok = stop->result_ok;
+        res.prior = stop->result;
+        stop->status = kIdle;
+        stop->busy = false;
+        unlock_node(stop);
+        return res;
+    }
+
+    /**
+     * Distribution step on the way down. @p ok false propagates the
+     * "root was invalid, retry" signal to the waiting second process.
+     */
+    void distribute(TreeNode* n, FetchOpValue prior, bool ok)
+    {
+        lock_node(n);
+        RTREE_TRACE("dist n=%ld status=%u prior=%lld\n", long(n - &nodes_[0].value), n->status, (long long)prior);
+        if (n->status == kFirst) {
+            // Nobody joined below this node: recycle it.
+            n->status = kIdle;
+            n->busy = false;
+        } else {
+            // A second process waits here: its result is the prior value
+            // plus our own sub-batch (its ops serialize after ours).
+            assert(n->status == kSecond);
+            n->result = prior + n->first_delta;
+            n->result_ok = ok;
+            n->status = kResult;
+        }
+        unlock_node(n);
+    }
+
+    std::uint32_t width_ = 0;
+    std::vector<CacheAligned<TreeNode>> nodes_;
+    bool root_valid_ = true;  // guarded by the root's node lock
+};
+
+/**
+ * FetchOp-concept adapter: a passive combining-tree counter whose
+ * processes are assigned leaves round-robin.
+ */
+template <Platform P>
+class CombiningFetchOp {
+  public:
+    struct Node {
+        typename CombiningTree<P>::Node tree_node;
+        bool assigned = false;
+    };
+
+    explicit CombiningFetchOp(std::uint32_t width = 32, FetchOpValue initial = 0)
+        : tree_(width, initial)
+    {
+    }
+
+    FetchOpValue fetch_add(Node& node, FetchOpValue delta)
+    {
+        if (!node.assigned) {
+            node.tree_node.leaf =
+                next_leaf_.fetch_add(1, std::memory_order_relaxed);
+            node.assigned = true;
+        }
+        return tree_.fetch_add(node.tree_node, delta);
+    }
+
+    FetchOpValue read() { return tree_.read(); }
+
+    CombiningTree<P>& tree() { return tree_; }
+
+  private:
+    CombiningTree<P> tree_;
+    typename P::template Atomic<std::uint32_t> next_leaf_{0};
+};
+
+}  // namespace reactive

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Concept for fetch-and-op objects (thesis Section 3.1.2).
+ *
+ * The thesis evaluates *combinable* fetch-and-op, using
+ * fetch-and-increment as the representative operation, so the interface
+ * is fetch_add over a 64-bit integer. All implementations return the
+ * value of the variable immediately *before* their own contribution was
+ * applied, and the sequence of returned values for concurrent operations
+ * is always consistent with some total order of the additions
+ * (linearizability of the counter) — the property the test suite checks.
+ */
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace reactive {
+
+/// Value type used by every fetch-and-op protocol in the library.
+using FetchOpValue = std::int64_t;
+
+// clang-format off
+/// A linearizable fetch-and-add object with per-call context.
+template <typename F>
+concept FetchOp = requires(F f, typename F::Node n, FetchOpValue v) {
+    typename F::Node;
+    { f.fetch_add(n, v) } -> std::same_as<FetchOpValue>;
+    { f.read() } -> std::same_as<FetchOpValue>;
+};
+// clang-format on
+
+}  // namespace reactive

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Anderson's array-based queue lock (Anderson [5]; discussed in thesis
+ * Section 3.1.1 as one of the three queueing protocols).
+ *
+ * Each waiter spins on its own slot of a circular array. The thesis
+ * chose MCS over this protocol because the array costs space
+ * proportional to the processor count per lock and the slot index needs
+ * fetch&increment; it is implemented here so the baseline benchmarks can
+ * reproduce that design discussion, and as an additional queue-protocol
+ * witness for the tests.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/**
+ * Array queue lock with one cache line per slot.
+ *
+ * The capacity must be at least the maximum number of simultaneous
+ * contenders; exceeding it corrupts the queue (as with the original).
+ */
+template <Platform P>
+class AndersonLock {
+  public:
+    struct Node {
+        std::uint32_t slot = 0;  ///< slot granted at lock() time
+    };
+
+    explicit AndersonLock(std::uint32_t capacity = 64)
+        : slots_(capacity), mask_checked_(capacity)
+    {
+        slots_[0].value.store(1, std::memory_order_relaxed);  // first is free
+        for (std::uint32_t i = 1; i < capacity; ++i)
+            slots_[i].value.store(0, std::memory_order_relaxed);
+    }
+
+    void lock(Node& node)
+    {
+        node.slot = next_.fetch_add(1, std::memory_order_relaxed) %
+                    static_cast<std::uint32_t>(slots_.size());
+        while (slots_[node.slot].value.load(std::memory_order_acquire) == 0)
+            P::pause();
+    }
+
+    bool try_lock(Node& node)
+    {
+        std::uint32_t ticket = next_.load(std::memory_order_relaxed);
+        const std::uint32_t slot =
+            ticket % static_cast<std::uint32_t>(slots_.size());
+        if (slots_[slot].value.load(std::memory_order_acquire) == 0)
+            return false;
+        if (!next_.compare_exchange_strong(ticket, ticket + 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed))
+            return false;
+        node.slot = slot;
+        return true;
+    }
+
+    void unlock(Node& node)
+    {
+        slots_[node.slot].value.store(0, std::memory_order_relaxed);
+        const std::uint32_t next_slot =
+            (node.slot + 1) % static_cast<std::uint32_t>(slots_.size());
+        slots_[next_slot].value.store(1, std::memory_order_release);
+    }
+
+    std::uint32_t capacity() const { return mask_checked_; }
+
+  private:
+    std::vector<CacheAligned<typename P::template Atomic<std::uint32_t>>> slots_;
+    typename P::template Atomic<std::uint32_t> next_{0};
+    std::uint32_t mask_checked_;
+};
+
+}  // namespace reactive

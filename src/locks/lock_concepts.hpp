@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Concepts and helpers shared by all mutual-exclusion lock protocols.
+ *
+ * Queue-based protocols (MCS, CLH) need a per-acquisition queue node that
+ * must be passed back to unlock. To keep every protocol interchangeable
+ * in the tests, benchmarks, and the reactive dispatcher, *all* locks use
+ * the node-passing interface; protocols without per-acquisition state use
+ * an empty Node. `ScopedLock` is the RAII convenience wrapper.
+ */
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace reactive {
+
+// clang-format off
+/// A mutual-exclusion lock with per-acquisition context.
+template <typename L>
+concept NodeLock = requires(L l, typename L::Node n) {
+    typename L::Node;
+    { l.lock(n) } -> std::same_as<void>;
+    { l.unlock(n) } -> std::same_as<void>;
+};
+
+/// A NodeLock that also supports a non-blocking acquisition attempt.
+template <typename L>
+concept TryNodeLock = NodeLock<L> && requires(L l, typename L::Node n) {
+    { l.try_lock(n) } -> std::same_as<bool>;
+};
+// clang-format on
+
+/// RAII guard for any NodeLock; owns the queue node on the stack.
+template <NodeLock L>
+class ScopedLock {
+  public:
+    explicit ScopedLock(L& lock) : lock_(lock) { lock_.lock(node_); }
+    ~ScopedLock() { lock_.unlock(node_); }
+
+    ScopedLock(const ScopedLock&) = delete;
+    ScopedLock& operator=(const ScopedLock&) = delete;
+
+  private:
+    L& lock_;
+    typename L::Node node_;
+};
+
+}  // namespace reactive

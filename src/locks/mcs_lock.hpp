@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The MCS list-based queue lock (Mellor-Crummey & Scott [43]; thesis
+ * Figure 3.1 and Section 3.1.1).
+ *
+ * Waiters append themselves to a software queue with fetch&store and
+ * spin on a flag in their *own* queue node, so each waiter polls a
+ * distinct location and a release signals exactly one successor. This is
+ * the scalable half of the reactive spin lock; its cost is the extra
+ * queue maintenance, which doubles the uncontended latency relative to
+ * test-and-set (Figure 3.2).
+ *
+ * Two release variants are provided:
+ *
+ *  - `McsVariant::kFetchStore` (default): the variant the thesis uses,
+ *    because Alewife has fetch&store but *no* compare&swap. Releasing
+ *    with an apparently empty queue swings the tail with fetch&store and
+ *    repairs the queue if a waiter slipped in ("usurper" path). This is
+ *    the race that Section 3.5.3 identifies as inflating MCS cost at
+ *    low-but-nonzero contention (patterns 5-8 of the multiple-lock test).
+ *  - `McsVariant::kCompareSwap`: the textbook release that empties the
+ *    queue with a single compare&swap.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// Release-path flavor for McsLock.
+enum class McsVariant {
+    kFetchStore,   ///< fetch&store-only release (Alewife-faithful)
+    kCompareSwap,  ///< compare&swap release
+};
+
+/**
+ * MCS queue lock.
+ *
+ * @tparam P       Platform model.
+ * @tparam variant release-path flavor (see McsVariant).
+ */
+template <Platform P, McsVariant variant = McsVariant::kFetchStore>
+class McsLock {
+  public:
+    /// Per-acquisition queue node; must stay alive from lock to unlock.
+    struct Node {
+        typename P::template Atomic<Node*> next{nullptr};
+        typename P::template Atomic<std::uint32_t> locked{0};
+    };
+
+    void lock(Node& node)
+    {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred != nullptr) {
+            node.locked.store(1, std::memory_order_relaxed);
+            pred->next.store(&node, std::memory_order_release);
+            while (node.locked.load(std::memory_order_acquire) != 0)
+                P::pause();
+        }
+    }
+
+    bool try_lock(Node& node)
+    {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        return tail_.compare_exchange_strong(expected, &node,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+    }
+
+    void unlock(Node& node)
+    {
+        if constexpr (variant == McsVariant::kCompareSwap)
+            unlock_cas(node);
+        else
+            unlock_fetch_store(node);
+    }
+
+    /// True if some process holds or is queued for the lock (racy).
+    bool is_locked() const
+    {
+        return tail_.load(std::memory_order_relaxed) != nullptr;
+    }
+
+  private:
+    void unlock_cas(Node& node)
+    {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        if (succ == nullptr) {
+            Node* expected = &node;
+            if (tail_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed))
+                return;  // queue emptied
+            // A successor is appending itself; wait for the link.
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+        }
+        succ->locked.store(0, std::memory_order_release);
+    }
+
+    void unlock_fetch_store(Node& node)
+    {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        if (succ == nullptr) {
+            // Apparently no successor: swing the tail to empty.
+            Node* old_tail = tail_.exchange(nullptr, std::memory_order_acq_rel);
+            if (old_tail == &node)
+                return;  // really had no successor
+            // Processes arrived between our two observations. Put the
+            // "usurpers" (anyone who enqueued after the tail swing) back
+            // in front of the victims we orphaned.
+            Node* usurper = tail_.exchange(old_tail, std::memory_order_acq_rel);
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();  // wait for our victim successor's link
+            if (usurper != nullptr) {
+                // Usurper holds the lock; victims queue behind it.
+                usurper->next.store(succ, std::memory_order_release);
+            } else {
+                succ->locked.store(0, std::memory_order_release);
+            }
+            return;
+        }
+        succ->locked.store(0, std::memory_order_release);
+    }
+
+    typename P::template Atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace reactive

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ticket lock with proportional backoff.
+ *
+ * Not one of the thesis' component protocols, but a useful baseline
+ * between test-and-set and MCS: FIFO-fair like MCS, centralized like
+ * test-and-set. Included so the baseline benchmarks can show where the
+ * reactive lock's two chosen endpoints sit relative to the middle ground
+ * (and used by the test suite as a third mutual-exclusion witness).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// FIFO ticket lock; waiters back off proportionally to queue distance.
+template <Platform P>
+class TicketLock {
+  public:
+    struct Node {};
+
+    /// @param handoff_cycles estimated cycles per lock handoff, used to
+    ///        scale proportional backoff while waiting.
+    explicit TicketLock(std::uint32_t handoff_cycles = 32)
+        : handoff_cycles_(handoff_cycles)
+    {
+    }
+
+    void lock(Node&)
+    {
+        const std::uint32_t ticket =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        for (;;) {
+            const std::uint32_t serving =
+                serving_.load(std::memory_order_acquire);
+            if (serving == ticket)
+                return;
+            const std::uint32_t ahead = ticket - serving;
+            P::delay(static_cast<std::uint64_t>(ahead) * handoff_cycles_);
+        }
+    }
+
+    bool try_lock(Node&)
+    {
+        std::uint32_t serving = serving_.load(std::memory_order_relaxed);
+        std::uint32_t expected = serving;
+        // Only take a ticket if it would be served immediately.
+        if (next_.load(std::memory_order_relaxed) != serving)
+            return false;
+        return next_.compare_exchange_strong(expected, serving + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+    }
+
+    void unlock(Node&)
+    {
+        serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+    }
+
+    bool is_locked() const
+    {
+        return next_.load(std::memory_order_relaxed) !=
+               serving_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    typename P::template Atomic<std::uint32_t> next_{0};
+    typename P::template Atomic<std::uint32_t> serving_{0};
+    std::uint32_t handoff_cycles_;
+};
+
+}  // namespace reactive

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Test-and-test-and-set spin lock with randomized exponential backoff
+ * (Segall & Rudolph [50]; thesis Section 3.1.1).
+ *
+ * Waiters read-poll the (cached) lock word and attempt test&set only
+ * when they observe it free. On a cache-coherent machine this removes
+ * steady-state polling traffic; the residual cost is the invalidation
+ * storm on release, which is why the protocol stops scaling at high
+ * contention on directory machines that invalidate sequentially
+ * (thesis Section 3.1.3) — exactly the regime where the MCS queue lock
+ * takes over in the reactive algorithm.
+ *
+ * Because failures of the *test&set* step are rarer here than under pure
+ * test-and-set, backoff grows more slowly, which is why TTS beats TAS at
+ * low contention in Figure 3.2 (the thesis explains this interaction of
+ * backoff with the two protocols explicitly).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/backoff.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/**
+ * test-and-test-and-set lock: read-poll, then test&set, with randomized
+ * exponential backoff after failed test&set attempts.
+ */
+template <Platform P>
+class TtsLock {
+  public:
+    struct Node {};
+
+    TtsLock() = default;
+    explicit TtsLock(BackoffParams backoff) : backoff_params_(backoff) {}
+
+    void lock(Node&)
+    {
+        ExpBackoff<P> backoff(backoff_params_);
+        for (;;) {
+            // Read-poll while the lock is visibly held (cache-local).
+            while (flag_.load(std::memory_order_relaxed) != 0)
+                P::pause();
+            if (flag_.exchange(1, std::memory_order_acquire) == 0)
+                return;
+            backoff.pause();  // lost the race: back off before re-polling
+        }
+    }
+
+    bool try_lock(Node&)
+    {
+        return flag_.load(std::memory_order_relaxed) == 0 &&
+               flag_.exchange(1, std::memory_order_acquire) == 0;
+    }
+
+    void unlock(Node&) { flag_.store(0, std::memory_order_release); }
+
+    bool is_locked() const
+    {
+        return flag_.load(std::memory_order_relaxed) != 0;
+    }
+
+  private:
+    typename P::template Atomic<std::uint32_t> flag_{0};
+    BackoffParams backoff_params_{};
+};
+
+}  // namespace reactive

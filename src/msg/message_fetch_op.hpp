@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Message-passing fetch-and-op protocols (thesis Section 3.6).
+ *
+ * Two protocols:
+ *
+ *  - `MessageFetchOp`: the centralized server. The fetch-and-op
+ *    variable lives in the private memory of a designated processor; a
+ *    request is one message, the reply carries the prior value — "the
+ *    theoretical minimum of two messages to perform a fetch-and-op".
+ *    The server's handler also observes request spacing, the signal the
+ *    reactive algorithm uses to escalate to the combining tree.
+ *
+ *  - `MessageCombiningTree`: a combining tree traversed by messages.
+ *    Each tree node is hosted on a processor; a request handler either
+ *    holds the request briefly (a combining window, modelled with a
+ *    delayed FLUSH message to self) or combines it with a waiting
+ *    sibling request and relays the combined operation upward. Replies
+ *    descend the tree distributing results, matching the protocol
+ *    sketch in Section 3.6.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fetchop/fetchop_concepts.hpp"
+#include "sim/machine.hpp"
+
+namespace reactive::msg {
+
+/// Reply codes for fetch-and-op requests.
+enum class OpReply : std::uint8_t { kPending = 0, kDone, kRetry };
+
+/// Centralized message-passing fetch-and-op server.
+class MessageFetchOp {
+  public:
+    struct Node {
+        OpReply reply = OpReply::kPending;
+        FetchOpValue prior = 0;
+        bool hot = false;  ///< server-observed contention hint
+    };
+
+    explicit MessageFetchOp(std::uint32_t server, FetchOpValue initial = 0,
+                            bool initially_valid = true,
+                            std::uint64_t hot_gap_cycles = 400)
+        : server_(server), value_(initial), valid_(initially_valid),
+          hot_gap_(hot_gap_cycles)
+    {
+    }
+
+    /**
+     * Performs fetch-and-add via one request/reply round trip.
+     * Returns false if the protocol is invalid (retry elsewhere).
+     */
+    bool fetch_add(Node& node, FetchOpValue delta)
+    {
+        node.reply = OpReply::kPending;
+        sim::Machine& m = *sim::current_machine();
+        const std::uint32_t self = sim::current_cpu();
+        Node* pn = &node;
+        m.send(server_, [this, &m, self, pn, delta] {
+            if (!valid_) {
+                m.send(self, [pn] { pn->reply = OpReply::kRetry; });
+                return;
+            }
+            const FetchOpValue prior = value_;
+            value_ += delta;
+            // Contention estimate: back-to-back requests (small gaps
+            // between arrivals at the server) mark the object "hot".
+            const std::uint64_t arr = m.cycles(server_);
+            const bool hot = (arr - last_arrival_) < hot_gap_;
+            last_arrival_ = arr;
+            hot_streak_ = hot ? hot_streak_ + 1 : 0;
+            const bool is_hot = hot_streak_ >= 4;
+            m.send(self, [pn, prior, is_hot] {
+                pn->prior = prior;
+                pn->hot = is_hot;
+                pn->reply = OpReply::kDone;
+            });
+        });
+        while (node.reply == OpReply::kPending)
+            sim::pause();
+        return node.reply == OpReply::kDone;
+    }
+
+    /**
+     * Retires the protocol. Decided atomically in the server handler;
+     * returns true only to the single caller that performed the
+     * valid -> invalid transition (the protocol-change winner).
+     */
+    bool invalidate()
+    {
+        sim::Machine& m = *sim::current_machine();
+        int acked = 0;  // 0 pending, 1 won, 2 lost
+        int* pa = &acked;
+        const std::uint32_t self = sim::current_cpu();
+        m.send(server_, [this, &m, self, pa] {
+            const bool won = valid_;
+            valid_ = false;
+            m.send(self, [pa, won] { *pa = won ? 1 : 2; });
+        });
+        while (acked == 0)
+            sim::pause();
+        return acked == 1;
+    }
+
+    void validate(FetchOpValue v)
+    {
+        sim::Machine& m = *sim::current_machine();
+        bool acked = false;
+        bool* pa = &acked;
+        const std::uint32_t self = sim::current_cpu();
+        m.send(server_, [this, &m, self, pa, v] {
+            valid_ = true;
+            value_ = v;
+            hot_streak_ = 0;
+            m.send(self, [pa] { *pa = true; });
+        });
+        while (!acked)
+            sim::pause();
+    }
+
+    /// Host-side quiescent read (after Machine::run()).
+    FetchOpValue read_quiescent() const { return value_; }
+
+  private:
+    const std::uint32_t server_;
+    // Server-handler state.
+    FetchOpValue value_;
+    bool valid_;
+    std::uint64_t last_arrival_ = 0;
+    std::uint32_t hot_streak_ = 0;
+    std::uint64_t hot_gap_;
+};
+
+/**
+ * Message-driven combining tree.
+ *
+ * Tree nodes are spread round-robin across processors. A leaf-bound
+ * request message starts the ascent; at each node the handler either
+ * combines the request with a parked one — recording a *split record*
+ * at that node and relaying the combined request upward — or parks it
+ * and schedules a FLUSH to itself after `combine_window` cycles. The
+ * root applies the batch and starts the descent: reply messages visit
+ * the split records, each split handing the correct prefix value to its
+ * two sub-batches, so reply distribution is as parallel as the ascent.
+ */
+class MessageCombiningTree {
+  public:
+    struct Node {
+        OpReply reply = OpReply::kPending;
+        FetchOpValue prior = 0;
+        std::uint32_t batch = 0;  ///< batch size seen at the root (hint)
+    };
+
+    /**
+     * @param nprocs         processors participating (= leaves).
+     * @param combine_window cycles a lone request waits for a partner.
+     */
+    explicit MessageCombiningTree(std::uint32_t nprocs, FetchOpValue initial = 0,
+                                  bool initially_valid = true,
+                                  std::uint32_t combine_window = 120)
+        : valid_(initially_valid), value_(initial), window_(combine_window)
+    {
+        std::uint32_t w = 1;
+        while (w < nprocs)
+            w <<= 1;
+        width_ = w;
+        tree_.resize(2 * w - 1);
+        for (std::uint32_t i = 0; i < tree_.size(); ++i)
+            tree_[i].home = i % nprocs;
+    }
+
+    /// Performs fetch-and-add; false = protocol invalid, retry.
+    bool fetch_add(Node& node, FetchOpValue delta)
+    {
+        node.reply = OpReply::kPending;
+        sim::Machine& m = *sim::current_machine();
+        const std::uint32_t self = sim::current_cpu();
+        const std::uint32_t leaf =
+            static_cast<std::uint32_t>(tree_.size()) - width_ + (self % width_);
+        Request req;
+        req.party = Party::leaf(self, &node);
+        req.delta = delta;
+        req.count = 1;
+        send_to_node(m, leaf, req);
+        while (node.reply == OpReply::kPending)
+            sim::pause();
+        return node.reply == OpReply::kDone;
+    }
+
+    /// Retires the protocol; true only for the winning transition.
+    bool invalidate()
+    {
+        sim::Machine& m = *sim::current_machine();
+        const std::uint32_t self = sim::current_cpu();
+        int acked = 0;
+        int* pa = &acked;
+        m.send(tree_[0].home, [this, &m, self, pa] {
+            const bool won = valid_;
+            valid_ = false;
+            m.send(self, [pa, won] { *pa = won ? 1 : 2; });
+        });
+        while (acked == 0)
+            sim::pause();
+        return acked == 1;
+    }
+
+    void validate(FetchOpValue v) { set_valid(true, v); }
+
+    FetchOpValue read_quiescent() const { return value_; }
+
+  private:
+    /// A reply destination: a requester, or a split record in the tree.
+    struct Party {
+        bool is_split = false;
+        std::uint32_t proc = 0;       ///< leaf: requester processor
+        Node* node = nullptr;         ///< leaf: requester mailbox
+        std::uint32_t split_idx = 0;  ///< split: tree node index
+        std::uint64_t split_seq = 0;  ///< split: record key
+
+        static Party leaf(std::uint32_t proc, Node* node)
+        {
+            Party p;
+            p.proc = proc;
+            p.node = node;
+            return p;
+        }
+        static Party split(std::uint32_t idx, std::uint64_t seq)
+        {
+            Party p;
+            p.is_split = true;
+            p.split_idx = idx;
+            p.split_seq = seq;
+            return p;
+        }
+    };
+
+    /// An in-flight (possibly combined) request ascending the tree.
+    struct Request {
+        Party party;
+        FetchOpValue delta = 0;
+        std::uint32_t count = 0;
+    };
+
+    /// Split record left behind by a combine: on descent, `first` gets
+    /// the incoming prior and `second` gets prior + delta1.
+    struct Split {
+        Party first;
+        Party second;
+        FetchOpValue delta1 = 0;
+    };
+
+    struct TreeNode {
+        std::uint32_t home = 0;      ///< hosting processor
+        bool waiting = false;        ///< a lone request parked here
+        Request parked{};
+        std::uint64_t seq = 0;       ///< park/split sequence numbers
+        std::unordered_map<std::uint64_t, Split> splits;
+    };
+
+    void set_valid(bool v, FetchOpValue val)
+    {
+        sim::Machine& m = *sim::current_machine();
+        const std::uint32_t self = sim::current_cpu();
+        bool acked = false;
+        bool* pa = &acked;
+        m.send(tree_[0].home, [this, &m, self, pa, v, val] {
+            valid_ = v;
+            if (v)
+                value_ = val;
+            m.send(self, [pa] { *pa = true; });
+        });
+        while (!acked)
+            sim::pause();
+    }
+
+    void send_to_node(sim::Machine& m, std::uint32_t idx, Request req)
+    {
+        m.send(tree_[idx].home, [this, &m, idx, req] { arrive(m, idx, req); });
+    }
+
+    /// Handler: a request arrives at tree node @p idx on its ascent.
+    void arrive(sim::Machine& m, std::uint32_t idx, Request req)
+    {
+        if (idx == 0) {
+            apply_at_root(m, req);
+            return;
+        }
+        TreeNode& n = tree_[idx];
+        if (n.waiting) {
+            // Combine with the parked request: leave a split record and
+            // relay the combined operation upward.
+            Request up = n.parked;
+            n.waiting = false;
+            const std::uint64_t key = ++n.seq;
+            n.splits.emplace(key, Split{up.party, req.party, up.delta});
+            Request combined;
+            combined.party = Party::split(idx, key);
+            combined.delta = up.delta + req.delta;
+            combined.count = up.count + req.count;
+            send_to_node(m, (idx - 1) / 2, combined);
+            return;
+        }
+        // Park and schedule a flush in case no partner shows up.
+        n.waiting = true;
+        n.parked = req;
+        const std::uint64_t seq = ++n.seq;
+        m.send_delayed(n.home, window_,
+                       [this, &m, idx, seq] { flush(m, idx, seq); });
+    }
+
+    /// Handler: the combining window expired for a parked request.
+    void flush(sim::Machine& m, std::uint32_t idx, std::uint64_t seq)
+    {
+        TreeNode& n = tree_[idx];
+        if (!n.waiting || n.seq != seq)
+            return;  // already combined or superseded
+        Request up = n.parked;
+        n.waiting = false;
+        ++n.seq;
+        send_to_node(m, (idx - 1) / 2, up);
+    }
+
+    /// Handler at the root's processor: apply and start the descent.
+    void apply_at_root(sim::Machine& m, const Request& req)
+    {
+        if (!valid_) {
+            descend(m, req.party, 0, 0, /*ok=*/false);
+            return;
+        }
+        const FetchOpValue prior = value_;
+        value_ += req.delta;
+        descend(m, req.party, prior, req.count, /*ok=*/true);
+    }
+
+    /// Routes a result (or retry) to a party; split parties recurse via
+    /// a message to the split's home processor.
+    void descend(sim::Machine& m, const Party& party, FetchOpValue prior,
+                 std::uint32_t batch, bool ok)
+    {
+        if (!party.is_split) {
+            m.send(party.proc, [pn = party.node, prior, batch, ok] {
+                pn->prior = prior;
+                pn->batch = batch;
+                pn->reply = ok ? OpReply::kDone : OpReply::kRetry;
+            });
+            return;
+        }
+        const std::uint32_t idx = party.split_idx;
+        const std::uint64_t key = party.split_seq;
+        m.send(tree_[idx].home, [this, &m, idx, key, prior, batch, ok] {
+            auto it = tree_[idx].splits.find(key);
+            if (it == tree_[idx].splits.end())
+                return;  // cannot happen; defensive
+            Split s = it->second;
+            tree_[idx].splits.erase(it);
+            descend(m, s.first, prior, batch, ok);
+            descend(m, s.second, prior + s.delta1, batch, ok);
+        });
+    }
+
+    std::uint32_t width_ = 1;
+    std::vector<TreeNode> tree_;
+    // Root-handler state.
+    bool valid_;
+    FetchOpValue value_;
+    std::uint32_t window_;
+};
+
+}  // namespace reactive::msg

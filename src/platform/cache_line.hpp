@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cache-line geometry and alignment helpers.
+ *
+ * Several protocols in the thesis depend on cache-line placement for
+ * performance (e.g. the reactive lock keeps its mode variable in a
+ * mostly-read line separate from the frequently written lock words,
+ * Section 3.2.6). These helpers make that placement explicit.
+ */
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace reactive {
+
+/// Size, in bytes, of the destructive interference granule.
+#if defined(__cpp_lib_hardware_interference_size)
+inline constexpr std::size_t kCacheLineSize =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+/**
+ * Wrapper that places @p T alone on its own cache line.
+ *
+ * Used to avoid false sharing between per-processor slots and between the
+ * mostly-read mode variable and the frequently written lock words.
+ */
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+    T value{};
+
+    CacheAligned() = default;
+
+    template <typename... Args>
+        requires std::is_constructible_v<T, Args...>
+    explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...)
+    {
+    }
+
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace reactive

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Low-level CPU primitives for the native platform: pause hints,
+ * timestamp counters, and calibrated busy-wait delays.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace reactive {
+
+/// Polite spin-wait hint to the pipeline / SMT sibling.
+inline void cpu_relax() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    asm volatile("" ::: "memory");
+#endif
+}
+
+/**
+ * Monotonic cycle-resolution timestamp.
+ *
+ * On x86 this is the TSC (constant-rate on every CPU from the last
+ * decade); elsewhere it falls back to steady_clock nanoseconds, which is
+ * close enough to "cycles" for the ratios these algorithms care about.
+ */
+inline std::uint64_t tsc_now() noexcept
+{
+#if defined(__x86_64__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+/**
+ * Busy-waits for approximately @p cycles timestamp ticks.
+ *
+ * Used by randomized exponential backoff. Precision is unimportant: the
+ * backoff policy only needs geometric growth of the mean delay.
+ */
+inline void spin_for_cycles(std::uint64_t cycles) noexcept
+{
+    const std::uint64_t start = tsc_now();
+    while (tsc_now() - start < cycles)
+        cpu_relax();
+}
+
+}  // namespace reactive

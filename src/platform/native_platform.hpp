@@ -1,0 +1,57 @@
+/**
+ * @file
+ * NativePlatform: the Platform model for real hardware.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "platform/cpu.hpp"
+#include "platform/parker.hpp"
+#include "platform/platform_concept.hpp"
+#include "platform/prng.hpp"
+
+namespace reactive {
+
+/**
+ * Platform model backed by std::atomic, TSC delays, and futex parking.
+ *
+ * `random_below` uses a thread-local xorshift generator seeded from the
+ * generator's address and the TSC, so threads never share PRNG state
+ * (sharing would serialize the very backoff paths that exist to
+ * de-serialize contenders).
+ */
+struct NativePlatform {
+    template <typename T>
+    using Atomic = std::atomic<T>;
+
+    using WaitQueue = NativeWaitQueue;
+
+    static void pause() noexcept { cpu_relax(); }
+
+    static void delay(std::uint64_t cycles) noexcept { spin_for_cycles(cycles); }
+
+    static std::uint64_t now() noexcept { return tsc_now(); }
+
+    static std::uint32_t random_below(std::uint32_t bound) noexcept
+    {
+        thread_local XorShift64Star rng{
+            static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(&rng)) ^
+            tsc_now()};
+        return rng.below(bound);
+    }
+
+    /// Switch-spinning analogue on a conventional OS: yield the core to
+    /// another runnable thread between polls.
+    static void context_switch_poll() noexcept
+    {
+        std::this_thread::yield();
+    }
+};
+
+static_assert(Platform<NativePlatform>);
+
+}  // namespace reactive

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Native signaling substrate: a futex-backed eventcount.
+ *
+ * Chapter 4 of the thesis models every signaling mechanism as "pay a
+ * fixed cost B, free the processor". On Linux the cheapest faithful
+ * implementation is a futex eventcount: waiters snapshot an epoch,
+ * re-test their predicate, and sleep until the epoch moves. This is the
+ * `WaitQueue` facet of the native Platform; the simulator provides the
+ * same interface with Alewife's measured costs (Table 4.1).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace reactive {
+
+#if defined(__linux__)
+
+/**
+ * Futex-based eventcount.
+ *
+ * Usage (two-phase waiting, Section 4.3):
+ * @code
+ *   uint32_t epoch = q.prepare_wait();
+ *   if (predicate()) { q.cancel_wait(); }     // won while arming
+ *   else             { q.commit_wait(epoch); }  // block (cost B)
+ * @endcode
+ * Wakers must make the predicate true *before* calling notify_*().
+ */
+class FutexWaitQueue {
+  public:
+    /// Snapshots the epoch; the caller must re-test its predicate next.
+    std::uint32_t prepare_wait() noexcept
+    {
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    /// Abandons a prepared wait (predicate became true while arming).
+    void cancel_wait() noexcept
+    {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// Blocks until the epoch differs from @p epoch (or a spurious wake).
+    void commit_wait(std::uint32_t epoch) noexcept
+    {
+        while (epoch_.load(std::memory_order_seq_cst) == epoch) {
+            syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                    FUTEX_WAIT_PRIVATE, epoch, nullptr, nullptr, 0);
+        }
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// Wakes one blocked waiter.
+    void notify_one() noexcept { notify(1); }
+
+    /// Wakes all blocked waiters.
+    void notify_all() noexcept { notify(INT32_MAX); }
+
+  private:
+    void notify(int count) noexcept
+    {
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        if (waiters_.load(std::memory_order_seq_cst) != 0) {
+            syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                    FUTEX_WAKE_PRIVATE, count, nullptr, nullptr, 0);
+        }
+    }
+
+    std::atomic<std::uint32_t> epoch_{0};
+    std::atomic<std::uint32_t> waiters_{0};
+};
+
+using NativeWaitQueue = FutexWaitQueue;
+
+#else  // portable fallback
+
+/// Portable eventcount over mutex + condition_variable.
+class CondVarWaitQueue {
+  public:
+    std::uint32_t prepare_wait() noexcept
+    {
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    void cancel_wait() noexcept {}
+
+    void commit_wait(std::uint32_t epoch) noexcept
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+            return epoch_.load(std::memory_order_relaxed) != epoch;
+        });
+    }
+
+    void notify_one() noexcept
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            epoch_.fetch_add(1, std::memory_order_seq_cst);
+        }
+        cv_.notify_one();
+    }
+
+    void notify_all() noexcept
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            epoch_.fetch_add(1, std::memory_order_seq_cst);
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::atomic<std::uint32_t> epoch_{0};
+};
+
+using NativeWaitQueue = CondVarWaitQueue;
+
+#endif
+
+}  // namespace reactive

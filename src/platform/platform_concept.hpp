@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Platform concept: the single seam between the portable protocol
+ * implementations and the machine they run on.
+ *
+ * Every synchronization algorithm in this library (Chapters 3 and 4 of
+ * the thesis) is a template over a Platform. Two models are provided:
+ *
+ *  - `reactive::NativePlatform` — std::atomic, pause/TSC, futex; the
+ *    artifact a downstream application links against.
+ *  - `reactive::sim::SimPlatform` — the Alewife-substitute simulated
+ *    multiprocessor with a cache-coherence cost model; the platform on
+ *    which every figure/table of the thesis is regenerated.
+ *
+ * Keeping one source of truth per algorithm is what makes the
+ * experimental claims about *these* implementations, not about forks.
+ */
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace reactive {
+
+// clang-format off
+template <typename P>
+concept Platform = requires(std::uint32_t n, std::uint64_t c) {
+    /// Atomic template with the std::atomic subset the protocols use.
+    typename P::template Atomic<std::uint32_t>;
+    typename P::template Atomic<void*>;
+
+    /// Eventcount used by signaling waiting mechanisms (Chapter 4).
+    typename P::WaitQueue;
+
+    /// Spin-wait pipeline hint (one poll interval).
+    { P::pause() } -> std::same_as<void>;
+
+    /// Busy-delay of approximately `c` cycles (backoff).
+    { P::delay(c) } -> std::same_as<void>;
+
+    /// Cycle-resolution timestamp for cost accounting.
+    { P::now() } -> std::same_as<std::uint64_t>;
+
+    /// Per-execution-context uniform draw in [0, n).
+    { P::random_below(n) } -> std::same_as<std::uint32_t>;
+};
+// clang-format on
+
+}  // namespace reactive

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small, fast pseudo-random number generators.
+ *
+ * Randomized exponential backoff (Anderson [5]; Section 3.1.1 of the
+ * thesis) needs a cheap per-thread source of randomness: a libc rand()
+ * call costs hundreds of cycles (the thesis notes this explicitly when
+ * describing the Alewife prototype runs, Section 3.5.2), which would
+ * perturb the very overheads being measured. xorshift-family generators
+ * cost a handful of cycles and have no shared state.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace reactive {
+
+/**
+ * xorshift64* generator (Vigna). 2^64-1 period, passes BigCrush on the
+ * high bits, 3 shifts + 1 multiply per draw.
+ */
+class XorShift64Star {
+  public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the generator; a zero seed is remapped to a fixed constant.
+    explicit constexpr XorShift64Star(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    static constexpr result_type min() { return 1; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    constexpr result_type operator()()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /// Uniform draw in [0, bound). bound == 0 yields 0.
+    constexpr std::uint32_t below(std::uint32_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Lemire's multiply-shift range reduction on the high 32 bits.
+        std::uint64_t x = (*this)() >> 32;
+        return static_cast<std::uint32_t>((x * bound) >> 32);
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform01()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * splitmix64: used to derive well-distributed seeds for per-thread
+ * XorShift64Star instances from a single experiment seed.
+ */
+constexpr std::uint64_t splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace reactive

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cooperative fibers: the execution contexts of simulated processors.
+ *
+ * The simulated multiprocessor (the NWO-substitute, see DESIGN.md) runs
+ * every simulated processor/thread as a fiber on one host thread and
+ * switches between them at every simulated-memory event. A simulation
+ * performs millions of switches, so the x86-64 path uses a hand-rolled
+ * callee-saved-register switch (~tens of cycles); other architectures
+ * fall back to ucontext.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace reactive::sim {
+
+/**
+ * A run-to-yield coroutine with its own guarded stack.
+ *
+ * Exactly one scheduler (the host thread) resumes fibers; a running
+ * fiber returns control with `Fiber::yield_current()`. Fibers never
+ * migrate between host threads.
+ */
+class Fiber {
+  public:
+    /// @param fn          body; the fiber is `done` after fn returns.
+    /// @param stack_bytes usable stack size (rounded up to page size).
+    explicit Fiber(std::function<void()> fn, std::size_t stack_bytes = 128 * 1024);
+    ~Fiber();
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /// True once the body has returned; resuming a done fiber is an error.
+    bool done() const { return done_; }
+
+    /// Transfers control from the scheduler into the fiber.
+    void resume();
+
+    /// Transfers control from the running fiber back to the scheduler.
+    static void yield_current();
+
+    /// The fiber currently running on this host thread, or nullptr.
+    static Fiber* current();
+
+  private:
+    static void entry_thunk(Fiber* self);
+
+    std::function<void()> fn_;
+    void* stack_base_ = nullptr;   ///< mmap base (includes guard page)
+    std::size_t map_bytes_ = 0;
+    bool done_ = false;
+
+#if defined(__x86_64__)
+    void* sp_ = nullptr;  ///< saved stack pointer when suspended
+#else
+    ucontext_t ctx_{};
+    ucontext_t* link_ = nullptr;
+    bool started_ = false;
+#endif
+
+    friend void fiber_entry_trampoline(Fiber*);
+};
+
+}  // namespace reactive::sim

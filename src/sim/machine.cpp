@@ -1,0 +1,479 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cassert>
+#include <stdexcept>
+
+namespace reactive::sim {
+
+namespace {
+thread_local Machine* t_machine = nullptr;
+}
+
+Machine* current_machine()
+{
+    return t_machine;
+}
+
+std::uint32_t current_cpu()
+{
+    assert(t_machine != nullptr);
+    return t_machine->cur_proc_;
+}
+
+void pause()
+{
+    Machine* m = t_machine;
+    assert(m != nullptr);
+    // Seeded jitter: real machines never spin in perfect lockstep, but a
+    // discrete-cost simulation does, and two processors polling the same
+    // word with identical periods can starve each other forever.
+    m->charge(m->costs().pause_cycles + random_below(3));
+}
+
+void delay(std::uint64_t cycles)
+{
+    Machine* m = t_machine;
+    assert(m != nullptr);
+    m->charge(cycles);
+}
+
+std::uint64_t now()
+{
+    Machine* m = t_machine;
+    assert(m != nullptr);
+    return m->cycles(current_cpu());
+}
+
+std::uint32_t random_below(std::uint32_t bound)
+{
+    Machine* m = t_machine;
+    assert(m != nullptr);
+    if (SimThread* t = m->running_thread())
+        return t->rng_.below(bound);
+    return m->machine_rng_.below(bound);
+}
+
+namespace {
+std::atomic<std::uint64_t> g_machine_epoch{1};
+}  // namespace
+
+Machine::Machine(std::uint32_t nprocs, CostModel costs, std::uint64_t seed)
+    : costs_(costs), procs_(nprocs), machine_rng_(seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      seed_(seed)
+{
+    epoch_ = g_machine_epoch.fetch_add(1, std::memory_order_relaxed);
+    assert(nprocs >= 1 && nprocs <= kMaxProcs);
+    if (costs_.pause_cycles == 0)
+        costs_.pause_cycles = 1;  // zero-cost spins would hang virtual time
+    pos_.resize(nprocs);
+    key_.resize(nprocs, kNever);
+}
+
+Machine::~Machine() = default;
+
+SimThread* Machine::spawn(std::uint32_t proc, std::function<void()> fn,
+                          std::size_t stack_bytes)
+{
+    assert(proc < procs_.size());
+    std::uint64_t seed_state = seed_ + threads_.size() + 1;
+    auto* t = new SimThread(static_cast<std::uint32_t>(threads_.size()), proc,
+                            std::move(fn), stack_bytes, splitmix64(seed_state));
+    threads_.emplace_back(t);
+    ++live_threads_;
+    ++stats_.threads_spawned;
+
+    std::uint64_t when = 0;
+    if (in_run_ && Fiber::current() != nullptr) {
+        charge(costs_.spawn_cost);
+        when = procs_[cur_proc_].clock;
+    }
+    t->ready_at_ = when;
+    t->state_ = SimThread::State::kReady;
+    procs_[proc].ready.push_back(t);
+    if (in_run_)
+        heap_touch(proc);
+    return t;
+}
+
+std::uint64_t Machine::next_event(const Proc& p) const
+{
+    if (!p.contexts.empty())
+        return p.clock;
+    std::uint64_t e = kNever;
+    if (!p.ready.empty())
+        e = std::max(p.clock, p.ready.front()->ready_at_);
+    if (!p.msgs.empty())
+        e = std::min(e, std::max(p.clock, p.msgs.top().arrival));
+    return e;
+}
+
+// ---- indexed binary min-heap over processors ------------------------
+
+void Machine::heap_build()
+{
+    heap_.clear();
+    for (std::uint32_t i = 0; i < procs_.size(); ++i) {
+        key_[i] = next_event(procs_[i]);
+        pos_[i] = i;
+        heap_.push_back(i);
+    }
+    if (heap_.size() > 1) {
+        for (std::uint32_t i = static_cast<std::uint32_t>(heap_.size()) / 2;
+             i-- > 0;)
+            heap_sift(heap_[i]);
+    }
+}
+
+void Machine::heap_sift(std::uint32_t pi)
+{
+    std::size_t i = pos_[pi];
+    const std::uint64_t k = key_[pi];
+    // sift up
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        std::uint32_t pp = heap_[parent];
+        if (key_[pp] < k || (key_[pp] == k && pp < pi))
+            break;
+        heap_[i] = pp;
+        pos_[pp] = static_cast<std::uint32_t>(i);
+        i = parent;
+    }
+    heap_[i] = pi;
+    pos_[pi] = static_cast<std::uint32_t>(i);
+    // sift down
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= heap_.size())
+            break;
+        std::size_t right = child + 1;
+        if (right < heap_.size()) {
+            std::uint32_t cl = heap_[child], cr = heap_[right];
+            if (key_[cr] < key_[cl] || (key_[cr] == key_[cl] && cr < cl))
+                child = right;
+        }
+        std::uint32_t c = heap_[child];
+        if (k < key_[c] || (k == key_[c] && pi < c))
+            break;
+        heap_[i] = c;
+        pos_[c] = static_cast<std::uint32_t>(i);
+        i = child;
+        heap_[i] = pi;
+        pos_[pi] = static_cast<std::uint32_t>(i);
+    }
+}
+
+void Machine::heap_touch(std::uint32_t pi)
+{
+    const std::uint64_t k = next_event(procs_[pi]);
+    if (k == key_[pi])
+        return;
+    key_[pi] = k;
+    heap_sift(pi);
+    if (pi != cur_proc_ && k < run_until_)
+        run_until_ = k;
+}
+
+std::uint64_t Machine::heap_second_min() const
+{
+    std::uint64_t s = kNever;
+    if (heap_.size() > 1)
+        s = key_[heap_[1]];
+    if (heap_.size() > 2)
+        s = std::min(s, key_[heap_[2]]);
+    return s;
+}
+
+// ---- scheduling ------------------------------------------------------
+
+void Machine::run()
+{
+    Machine* outer = t_machine;
+    t_machine = this;
+    in_run_ = true;
+    heap_build();
+
+#ifdef REACTIVE_SIM_TRACE
+    std::uint64_t steps = 0;
+#endif
+    while (live_threads_ > 0) {
+        const std::uint32_t pi = heap_[0];
+#ifdef REACTIVE_SIM_TRACE
+        if (++steps % (1u << 22) == 0) {
+            std::fprintf(stderr, "[sim] step %llu pick p%u key %llu live %llu:",
+                         (unsigned long long)steps, pi,
+                         (unsigned long long)key_[pi],
+                         (unsigned long long)live_threads_);
+            for (std::size_t i = 0; i < procs_.size(); ++i)
+                std::fprintf(stderr, " c%zu=%llu(ctx%zu,r%zu,m%zu)", i,
+                             (unsigned long long)procs_[i].clock,
+                             procs_[i].contexts.size(), procs_[i].ready.size(),
+                             procs_[i].msgs.size());
+            std::fprintf(stderr, "\n");
+        }
+#endif
+        if (key_[pi] == kNever) {
+            in_run_ = false;
+            t_machine = outer;
+            throw std::runtime_error(
+                "reactive::sim::Machine deadlock: live threads but no "
+                "runnable processor (lost wakeup?)");
+        }
+        step(pi);
+        heap_touch(pi);
+    }
+
+    in_run_ = false;
+    t_machine = outer;
+}
+
+void Machine::step(std::uint32_t pi)
+{
+    cur_proc_ = pi;
+    Proc& p = procs_[pi];
+
+    // The running processor may advance until the next other-processor
+    // event or its own next message arrival without a scheduler bounce.
+    run_until_ = heap_second_min();
+    if (!p.msgs.empty())
+        run_until_ = std::min(run_until_, p.msgs.top().arrival);
+
+    // Deliver due messages (atomic handlers, Section 3.6).
+    if (!p.msgs.empty()) {
+        if (p.contexts.empty() &&
+            (p.ready.empty() ||
+             p.msgs.top().arrival <
+                 std::max(p.clock, p.ready.front()->ready_at_))) {
+            p.clock = std::max(p.clock, p.msgs.top().arrival);
+        }
+        deliver_messages(p);
+        if (!p.msgs.empty())
+            run_until_ = std::min(run_until_, p.msgs.top().arrival);
+    }
+
+    // Fill free hardware contexts from the ready queue.
+    while (p.contexts.size() < costs_.hardware_contexts && !p.ready.empty()) {
+        SimThread* t = p.ready.front();
+        if (p.contexts.empty()) {
+            p.ready.pop_front();
+            p.clock = std::max(p.clock, t->ready_at_) + costs_.thread_reload;
+            t->loaded_ = true;
+            p.contexts.push_back(t);
+            p.cur = p.contexts.size() - 1;
+        } else if (t->ready_at_ <= p.clock) {
+            p.ready.pop_front();
+            p.clock += costs_.thread_reload;
+            t->loaded_ = true;
+            p.contexts.push_back(t);
+        } else {
+            break;
+        }
+    }
+
+    if (p.contexts.empty())
+        return;  // nothing runnable yet (future message/ready time)
+
+    p.cur %= p.contexts.size();
+    SimThread* t = p.contexts[p.cur];
+    t->state_ = SimThread::State::kRunning;
+    running_ = t;
+    t->fiber_.resume();
+    running_ = nullptr;
+
+    if (t->fiber_.done()) {
+        finish_thread(p, t);
+    } else if (t->state_ == SimThread::State::kBlocked) {
+        auto it = std::find(p.contexts.begin(), p.contexts.end(), t);
+        assert(it != p.contexts.end());
+        p.contexts.erase(it);
+        t->loaded_ = false;
+        if (p.cur >= p.contexts.size())
+            p.cur = 0;
+    } else if (t->state_ == SimThread::State::kRunning) {
+        t->state_ = SimThread::State::kReady;
+    }
+}
+
+void Machine::deliver_messages(Proc& p)
+{
+    while (!p.msgs.empty() && p.msgs.top().arrival <= p.clock) {
+        // Copy out: the handler may send to this same processor.
+        auto handler = p.msgs.top().handler;
+        p.msgs.pop();
+        p.clock += costs_.msg_handler_overhead;
+        ++stats_.handlers;
+        handler();
+    }
+}
+
+void Machine::finish_thread(Proc& p, SimThread* t)
+{
+    t->state_ = SimThread::State::kDone;
+    auto it = std::find(p.contexts.begin(), p.contexts.end(), t);
+    if (it != p.contexts.end())
+        p.contexts.erase(it);
+    t->loaded_ = false;
+    if (p.cur >= p.contexts.size())
+        p.cur = 0;
+    assert(live_threads_ > 0);
+    --live_threads_;
+}
+
+std::uint64_t Machine::elapsed() const
+{
+    std::uint64_t e = 0;
+    for (const Proc& p : procs_)
+        e = std::max(e, p.clock);
+    return e;
+}
+
+// ---- runtime services ------------------------------------------------
+
+void Machine::charge(std::uint64_t cycles)
+{
+    Proc& p = procs_[cur_proc_];
+    p.clock += cycles;
+    if (p.clock > run_until_ && Fiber::current() != nullptr)
+        Fiber::yield_current();
+}
+
+void Machine::send(std::uint32_t dst, std::function<void()> handler)
+{
+    send_delayed(dst, 0, std::move(handler));
+}
+
+void Machine::send_delayed(std::uint32_t dst, std::uint64_t extra_delay,
+                           std::function<void()> handler)
+{
+    assert(dst < procs_.size());
+    ++stats_.messages;
+    charge(costs_.msg_send_overhead);
+    const std::uint64_t arrival =
+        procs_[cur_proc_].clock + costs_.msg_latency + extra_delay;
+    procs_[dst].msgs.push(Message{arrival, msg_seq_++, std::move(handler)});
+    if (dst == cur_proc_) {
+        run_until_ = std::min(run_until_, arrival);
+    } else {
+        heap_touch(dst);
+    }
+}
+
+void Machine::context_switch()
+{
+    Proc& p = procs_[cur_proc_];
+    if (p.contexts.size() <= 1) {
+        charge(costs_.pause_cycles);
+        return;
+    }
+    ++stats_.context_switches;
+    charge(costs_.context_switch);
+    p.cur = (p.cur + 1) % p.contexts.size();
+    Fiber::yield_current();
+}
+
+void Machine::block_current()
+{
+    assert(running_ != nullptr && "block outside a simulated thread");
+    running_->state_ = SimThread::State::kBlocked;
+    ++stats_.blocks;
+    Fiber::yield_current();
+}
+
+void Machine::make_ready(SimThread* t, std::uint64_t when)
+{
+    assert(t->state_ == SimThread::State::kBlocked);
+    t->state_ = SimThread::State::kReady;
+    t->ready_at_ = when;
+    ++stats_.wakes;
+    procs_[t->proc_].ready.push_back(t);
+    heap_touch(t->proc_);
+}
+
+// ---- SimWaitQueue ----------------------------------------------------
+
+// SimWaitQueue operations tolerate running outside a simulation (no
+// current machine): harness code initializes and resolves constructs
+// before Machine::run(), when no thread can be blocked yet.
+
+std::uint32_t SimWaitQueue::prepare_wait()
+{
+    Machine* m = current_machine();
+    if (m != nullptr)
+        m->charge(m->costs().wait_queue_op);
+    return epoch_;
+}
+
+void SimWaitQueue::cancel_wait()
+{
+    Machine* m = current_machine();
+    if (m != nullptr)
+        m->charge(2);
+}
+
+void SimWaitQueue::commit_wait(std::uint32_t epoch)
+{
+    Machine* m = current_machine();
+    if (m == nullptr)
+        return;  // nothing can block outside a simulation
+    if (epoch_ != epoch) {
+        m->charge(2);
+        return;
+    }
+    SimThread* self = m->running_thread();
+    assert(self != nullptr && "commit_wait outside a simulated thread");
+    // Pay the unload cost (Table 4.1), then re-check: the epoch may have
+    // moved while we were being charged.
+    m->charge(m->costs().thread_unload);
+    if (epoch_ != epoch)
+        return;
+    waiters_.push_back(self);
+    m->block_current();
+}
+
+void SimWaitQueue::notify_one()
+{
+    Machine* m = current_machine();
+    ++epoch_;
+    if (m == nullptr) {
+        assert(waiters_.empty());
+        return;
+    }
+    if (waiters_.empty()) {
+        m->charge(m->costs().wait_queue_op);
+        return;
+    }
+    m->charge(m->costs().thread_reenable);
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    std::uint64_t when = m->cycles(current_cpu());
+    if (t->proc() != current_cpu())
+        when += m->costs().msg_latency;
+    m->make_ready(t, when);
+}
+
+void SimWaitQueue::notify_all()
+{
+    Machine* m = current_machine();
+    ++epoch_;
+    if (m == nullptr) {
+        assert(waiters_.empty());
+        return;
+    }
+    if (waiters_.empty()) {
+        m->charge(m->costs().wait_queue_op);
+        return;
+    }
+    while (!waiters_.empty()) {
+        m->charge(m->costs().thread_reenable);
+        SimThread* t = waiters_.front();
+        waiters_.pop_front();
+        std::uint64_t when = m->cycles(current_cpu());
+        if (t->proc() != current_cpu())
+            when += m->costs().msg_latency;
+        m->make_ready(t, when);
+    }
+}
+
+}  // namespace reactive::sim

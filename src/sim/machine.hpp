@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The simulated multiprocessor: the experimental platform substitute for
+ * the MIT Alewife machine and its NWO simulator (thesis Chapter 2).
+ *
+ * A `Machine` owns P simulated processors, each with its own cycle
+ * clock, a small set of hardware contexts (Sparcle-style block
+ * multithreading), a ready queue of unloaded threads, and an incoming
+ * message queue. Simulated code runs in fibers; every simulated-memory
+ * access, message, delay, or pause charges cycles to the running
+ * processor's clock, and the scheduler always advances the processor
+ * with the smallest next event time, so the interleaving is a faithful
+ * (and deterministic) discrete-event execution.
+ *
+ * Cost parameters live in `CostModel`; the defaults encode the numbers
+ * the thesis reports for Alewife: ~50-cycle remote misses, sequential
+ * invalidations (the reason test-and-test-and-set stops scaling,
+ * Section 3.1.3), LimitLESS directory overflow beyond 5 hardware
+ * pointers, ~500-cycle blocking split per Table 4.1, 4 hardware contexts
+ * with a 14-cycle context switch (Section 4.1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "platform/prng.hpp"
+#include "sim/fiber.hpp"
+
+namespace reactive::sim {
+
+/// Upper bound on simulated processors (directory bitmask width).
+inline constexpr std::uint32_t kMaxProcs = 256;
+
+/**
+ * Every latency the simulation charges, in simulated cycles.
+ * Presets reproduce the configurations the thesis evaluates.
+ */
+struct CostModel {
+    // -- processor ---------------------------------------------------
+    std::uint32_t pause_cycles = 4;       ///< one spin-poll iteration
+
+    // -- cache / directory (LimitLESS-style) -------------------------
+    std::uint32_t cache_hit = 2;          ///< local cached access
+    std::uint32_t remote_miss = 40;       ///< fill from home/remote node
+    std::uint32_t writeback_extra = 10;   ///< downgrading a dirty owner
+    std::uint32_t upgrade_hit = 12;       ///< write hit on a shared line
+    std::uint32_t invalidate_per_sharer = 7;  ///< sequential invalidations
+    std::uint32_t atomic_extra = 6;       ///< RMW beyond a write
+    std::uint32_t hw_dir_pointers = 5;    ///< LimitLESS hardware pointers
+    std::uint32_t dir_overflow_trap = 60; ///< software directory extension
+    bool full_map_directory = false;      ///< DirNNB: never overflows
+
+    // -- interconnect messages ---------------------------------------
+    std::uint32_t msg_send_overhead = 16; ///< compose + launch
+    std::uint32_t msg_latency = 24;       ///< one-way network latency
+    std::uint32_t msg_handler_overhead = 30;  ///< dispatch into handler
+
+    // -- threads (Table 4.1 breakdown) --------------------------------
+    std::uint32_t thread_unload = 300;    ///< save state + enqueue
+    std::uint32_t thread_reenable = 100;  ///< move to ready queue (waker)
+    std::uint32_t thread_reload = 65;     ///< restore registers + state
+    std::uint32_t context_switch = 14;    ///< between resident contexts
+    std::uint32_t hardware_contexts = 1;  ///< Sparcle N (4 when multithreaded)
+    std::uint32_t spawn_cost = 50;        ///< creating a thread in-sim
+    std::uint32_t wait_queue_op = 13;     ///< lock queue of blocked threads
+
+    /// Simulated 33 MHz Alewife, LimitLESS_5 directory (the default).
+    static CostModel alewife() { return CostModel{}; }
+
+    /// Full-map directory (the DirNNB curve of Figure 3.2).
+    static CostModel dirnnb()
+    {
+        CostModel c;
+        c.full_map_directory = true;
+        return c;
+    }
+
+    /// 16-node 20 MHz prototype: the asynchronous network appears
+    /// faster relative to the clock (thesis Section 3.5.2).
+    static CostModel prototype16()
+    {
+        CostModel c;
+        c.remote_miss = 28;
+        c.invalidate_per_sharer = 5;
+        c.msg_latency = 16;
+        return c;
+    }
+
+    /// Alewife with Sparcle block multithreading enabled (Chapter 4).
+    static CostModel multithreaded(std::uint32_t contexts = 4)
+    {
+        CostModel c;
+        c.hardware_contexts = contexts;
+        return c;
+    }
+
+    /// Cost of blocking, B: what the thesis' waiting analysis calls the
+    /// fixed cost of the signaling mechanism (~500 cycles on Alewife).
+    std::uint32_t blocking_cost() const
+    {
+        return thread_unload + thread_reenable + thread_reload;
+    }
+};
+
+/// Aggregate event counters, exposed for traffic-oriented assertions.
+struct MachineStats {
+    std::uint64_t mem_ops = 0;
+    std::uint64_t remote_misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t dir_overflows = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t handlers = 0;
+    std::uint64_t context_switches = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t threads_spawned = 0;
+};
+
+class Machine;
+
+/// Machine running the current fiber/handler, or nullptr outside a sim.
+Machine* current_machine();
+
+/// Processor executing the current fiber or message handler.
+std::uint32_t current_cpu();
+
+/// Charges one poll interval to the running processor.
+void pause();
+
+/// Charges @p cycles of local computation to the running processor.
+void delay(std::uint64_t cycles);
+
+/// The running processor's cycle clock.
+std::uint64_t now();
+
+/// Per-thread deterministic uniform draw in [0, bound).
+std::uint32_t random_below(std::uint32_t bound);
+
+class SimThread;
+class Machine;
+
+/**
+ * A simulated thread. Created via Machine::spawn; lifetime owned by the
+ * Machine. Exposed only as an opaque handle to the wait-queue layer.
+ */
+class SimThread {
+  public:
+    enum class State { kReady, kRunning, kBlocked, kDone };
+
+    std::uint32_t id() const { return id_; }
+    std::uint32_t proc() const { return proc_; }
+    State state() const { return state_; }
+
+  private:
+    friend class Machine;
+    friend class SimWaitQueue;
+    friend std::uint32_t random_below(std::uint32_t bound);
+
+    SimThread(std::uint32_t id, std::uint32_t proc, std::function<void()> fn,
+              std::size_t stack_bytes, std::uint64_t seed)
+        : id_(id), proc_(proc), fiber_(std::move(fn), stack_bytes), rng_(seed)
+    {
+    }
+
+    std::uint32_t id_;
+    std::uint32_t proc_;
+    Fiber fiber_;
+    XorShift64Star rng_;
+    State state_ = State::kReady;
+    bool loaded_ = false;
+    std::uint64_t ready_at_ = 0;  ///< earliest cycle it may be (re)loaded
+};
+
+/**
+ * Condition queue for simulated threads: the signaling substrate of the
+ * waiting algorithms (Chapter 4). Mirrors the native futex eventcount
+ * interface; costs follow Table 4.1 (unload on block, reenable charged
+ * to the waker, reload when rescheduled).
+ */
+class SimWaitQueue {
+  public:
+    std::uint32_t prepare_wait();
+    void cancel_wait();
+    void commit_wait(std::uint32_t epoch);
+    void notify_one();
+    void notify_all();
+
+  private:
+    std::uint32_t epoch_ = 0;
+    std::deque<SimThread*> waiters_;
+};
+
+/**
+ * The simulated multiprocessor.
+ *
+ * Usage:
+ * @code
+ *   sim::Machine m(64);
+ *   TtsLock<sim::SimPlatform> lock;           // shared simulated state
+ *   for (uint32_t p = 0; p < 64; ++p)
+ *       m.spawn(p, [&] { ... });              // one thread per processor
+ *   m.run();
+ *   uint64_t t = m.elapsed();                 // simulated cycles
+ * @endcode
+ */
+class Machine {
+  public:
+    explicit Machine(std::uint32_t nprocs, CostModel costs = CostModel::alewife(),
+                     std::uint64_t seed = 1);
+    ~Machine();
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    std::uint32_t procs() const { return static_cast<std::uint32_t>(procs_.size()); }
+    const CostModel& costs() const { return costs_; }
+    const MachineStats& stats() const { return stats_; }
+
+    /// Unique id of this machine instance; used by the memory model to
+    /// invalidate cache/occupancy state carried by objects that outlive
+    /// a previous Machine.
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Creates a simulated thread bound to processor @p proc.
+     * May be called before run() (thread ready at cycle 0) or from
+     * inside the simulation (charges spawn cost to the caller).
+     */
+    SimThread* spawn(std::uint32_t proc, std::function<void()> fn,
+                     std::size_t stack_bytes = 128 * 1024);
+
+    /**
+     * Runs the simulation until every thread finishes.
+     * @throws std::runtime_error on deadlock (live threads, no events).
+     */
+    void run();
+
+    /// Simulated end-to-end time: max processor clock reached.
+    std::uint64_t elapsed() const;
+
+    /// Cycle clock of processor @p proc.
+    std::uint64_t cycles(std::uint32_t proc) const { return procs_[proc].clock; }
+
+    // ---- runtime services (called from simulated code) --------------
+
+    /// Adds @p cycles to the running processor; may switch fibers.
+    void charge(std::uint64_t cycles);
+
+    /// Sends an atomic-handler message to processor @p dst.
+    void send(std::uint32_t dst, std::function<void()> handler);
+
+    /// Like send(), with @p extra_delay additional cycles of latency
+    /// (used to model protocol timers such as combining windows).
+    void send_delayed(std::uint32_t dst, std::uint64_t extra_delay,
+                      std::function<void()> handler);
+
+    /// Rotates to the next resident hardware context (switch-spinning).
+    /// With a single context this degenerates to pause().
+    void context_switch();
+
+    /// Blocks the current thread (Table 4.1 unload cost already charged
+    /// by the caller). Returns when the thread is rescheduled.
+    void block_current();
+
+    /// Makes @p t runnable on its processor no earlier than @p when.
+    void make_ready(SimThread* t, std::uint64_t when);
+
+    /// Currently running simulated thread (nullptr inside handlers).
+    SimThread* running_thread() const { return running_; }
+
+    MachineStats& mutable_stats() { return stats_; }
+
+  private:
+    struct Message {
+        std::uint64_t arrival;
+        std::uint64_t seq;  ///< FIFO tiebreak
+        std::function<void()> handler;
+        bool operator>(const Message& o) const
+        {
+            return arrival != o.arrival ? arrival > o.arrival : seq > o.seq;
+        }
+    };
+
+    struct Proc {
+        std::uint64_t clock = 0;
+        std::vector<SimThread*> contexts;  ///< resident (runnable) threads
+        std::size_t cur = 0;
+        std::deque<SimThread*> ready;      ///< unloaded runnable threads
+        std::priority_queue<Message, std::vector<Message>, std::greater<>> msgs;
+    };
+
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    /// Earliest cycle at which processor @p p can do useful work.
+    std::uint64_t next_event(const Proc& p) const;
+
+    /// Runs one scheduling step on processor @p pi.
+    void step(std::uint32_t pi);
+
+    void deliver_messages(Proc& p);
+    void finish_thread(Proc& p, SimThread* t);
+
+    // ---- indexed min-heap of processors keyed by next_event ---------
+    void heap_build();
+    void heap_sift(std::uint32_t pi);
+    void heap_touch(std::uint32_t pi);
+    std::uint64_t heap_second_min() const;
+
+    CostModel costs_;
+    std::vector<Proc> procs_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    MachineStats stats_;
+    XorShift64Star machine_rng_;
+    std::uint64_t seed_;
+    std::uint64_t msg_seq_ = 0;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t live_threads_ = 0;
+    std::uint64_t run_until_ = 0;   ///< current proc may run up to here
+    std::uint32_t cur_proc_ = 0;
+    SimThread* running_ = nullptr;
+    bool in_run_ = false;
+
+    std::vector<std::uint32_t> heap_;  ///< proc indices, min-heap by key
+    std::vector<std::uint32_t> pos_;   ///< proc -> heap slot
+    std::vector<std::uint64_t> key_;   ///< cached next_event per proc
+
+    friend Machine* current_machine();
+    friend std::uint32_t current_cpu();
+    friend std::uint32_t random_below(std::uint32_t bound);
+    friend class SimWaitQueue;
+};
+
+}  // namespace reactive::sim

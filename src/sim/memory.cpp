@@ -1,0 +1,155 @@
+#include "sim/memory.hpp"
+
+namespace reactive::sim {
+
+namespace {
+
+/// Number of cached copies a write by @p writer must invalidate.
+std::size_t invalidated_copies(const Directory& dir, std::uint32_t writer)
+{
+    std::size_t copies = dir.sharers.count();
+    if (dir.sharers.test(writer))
+        --copies;
+    if (dir.owner >= 0 && static_cast<std::uint32_t>(dir.owner) != writer)
+        ++copies;
+    return copies;
+}
+
+/// Invalidation round: every cached copy other than the writer's is
+/// invalidated *sequentially* (thesis Section 3.1.3); a directory that
+/// overflowed its hardware pointers additionally pays the LimitLESS
+/// software-extension trap.
+std::uint64_t invalidation_cost(const Machine& m, std::size_t copies)
+{
+    const CostModel& c = m.costs();
+    if (copies == 0)
+        return 0;
+    std::uint64_t cost =
+        static_cast<std::uint64_t>(copies) * c.invalidate_per_sharer;
+    if (!c.full_map_directory && copies > c.hw_dir_pointers)
+        cost += c.dir_overflow_trap;
+    return cost;
+}
+
+/// Serializes a remote transaction of @p service cycles through the
+/// line's home directory: the requester stalls until the directory is
+/// free, occupies it for the service time, and is charged the total.
+///
+/// The small seeded jitter matters: occupancy quantizes transaction
+/// start times, and without noise two processors polling one line can
+/// phase-lock into a deterministic alternation in which one of them
+/// never observes the state it waits for (real interconnects are never
+/// that periodic).
+void charge_through_directory(Machine& m, Directory& dir,
+                              std::uint64_t service)
+{
+    service += random_below(4);
+    const std::uint64_t arrive = m.cycles(current_cpu());
+    const std::uint64_t start = std::max(arrive, dir.busy_until);
+    dir.busy_until = start + service;
+    m.charge((start - arrive) + service);
+}
+
+/// Resets cache/occupancy state left behind by a previous machine.
+void refresh_epoch(Machine& m, Directory& dir)
+{
+    if (dir.machine_epoch != m.epoch()) {
+        dir.machine_epoch = m.epoch();
+        dir.sharers.reset();
+        dir.owner = -1;
+        dir.busy_until = 0;
+    }
+}
+
+}  // namespace
+
+void charge_read(Directory& dir)
+{
+    Machine* m = current_machine();
+    if (m == nullptr)
+        return;
+    refresh_epoch(*m, dir);
+    const CostModel& c = m->costs();
+    const std::uint32_t cpu = current_cpu();
+    ++m->mutable_stats().mem_ops;
+
+    if (dir.owner == static_cast<std::int32_t>(cpu) ||
+        (dir.owner < 0 && dir.sharers.test(cpu))) {
+        m->charge(c.cache_hit);
+        return;
+    }
+
+    std::uint64_t cost = c.remote_miss;
+    ++m->mutable_stats().remote_misses;
+    if (dir.owner >= 0) {
+        // Downgrade the dirty owner to a sharer.
+        cost += c.writeback_extra;
+        dir.sharers.set(static_cast<std::size_t>(dir.owner));
+        dir.owner = -1;
+    }
+    dir.sharers.set(cpu);
+    // A read that grows the sharer set beyond the hardware pointers
+    // traps into the LimitLESS software handler (thesis Section 2.2.1).
+    if (!c.full_map_directory && dir.sharers.count() > c.hw_dir_pointers) {
+        cost += c.dir_overflow_trap;
+        ++m->mutable_stats().dir_overflows;
+    }
+    charge_through_directory(*m, dir, cost);
+}
+
+void charge_write(Directory& dir)
+{
+    Machine* m = current_machine();
+    if (m == nullptr)
+        return;
+    refresh_epoch(*m, dir);
+    const CostModel& c = m->costs();
+    const std::uint32_t cpu = current_cpu();
+    ++m->mutable_stats().mem_ops;
+
+    if (dir.owner == static_cast<std::int32_t>(cpu)) {
+        m->charge(c.cache_hit);
+        return;
+    }
+
+    std::uint64_t cost =
+        dir.sharers.test(cpu) ? c.upgrade_hit : c.remote_miss;
+    if (!dir.sharers.test(cpu))
+        ++m->mutable_stats().remote_misses;
+    const std::size_t copies = invalidated_copies(dir, cpu);
+    cost += invalidation_cost(*m, copies);
+    m->mutable_stats().invalidations += copies;
+    dir.sharers.reset();
+    dir.owner = static_cast<std::int32_t>(cpu);
+    charge_through_directory(*m, dir, cost);
+}
+
+void charge_rmw(Directory& dir)
+{
+    Machine* m = current_machine();
+    if (m == nullptr)
+        return;
+    refresh_epoch(*m, dir);
+    const CostModel& c = m->costs();
+    const std::uint32_t cpu = current_cpu();
+    ++m->mutable_stats().mem_ops;
+
+    if (dir.owner == static_cast<std::int32_t>(cpu)) {
+        m->charge(c.cache_hit + c.atomic_extra);
+        return;
+    }
+
+    std::uint64_t cost =
+        (dir.sharers.test(cpu) ? c.upgrade_hit : c.remote_miss) +
+        c.atomic_extra;
+    if (!dir.sharers.test(cpu))
+        ++m->mutable_stats().remote_misses;
+    const std::size_t copies = invalidated_copies(dir, cpu);
+    cost += invalidation_cost(*m, copies);
+    m->mutable_stats().invalidations += copies;
+    dir.sharers.reset();
+    dir.owner = static_cast<std::int32_t>(cpu);
+    charge_through_directory(*m, dir, cost);
+}
+
+}  // namespace reactive::sim

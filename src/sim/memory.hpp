@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Simulated shared memory with a directory-based coherence cost model.
+ *
+ * Each `sim::Atomic<T>` models one (padded) cache line tracked by a
+ * LimitLESS-style directory (thesis Section 2.2.1): a handful of
+ * hardware pointers, software extension on overflow, and *sequential*
+ * invalidations on writes — the mechanism behind every contention effect
+ * Chapter 3 measures:
+ *
+ *  - test&set polling = repeated RMWs on a shared line = an invalidation
+ *    round per poll (why TAS collapses under contention);
+ *  - test-and-test-and-set waiters read-cache the lock, but each release
+ *    pays one invalidation per sharer, issued sequentially, plus the
+ *    directory-overflow trap beyond 5 sharers (why TTS stops scaling,
+ *    and why the DirNNB full-map preset helps but does not fix it);
+ *  - MCS waiters spin on their own line (cache hits), so a release costs
+ *    O(1) remote operations regardless of contention.
+ *
+ * Operations are atomic by construction (the simulation is a
+ * discrete-event execution on one host thread); the model charges
+ * cycles, it does not need to re-implement atomicity.
+ */
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/machine.hpp"
+
+namespace reactive::sim {
+
+/// Directory entry for one simulated cache line.
+struct Directory {
+    std::bitset<kMaxProcs> sharers;
+    std::int32_t owner = -1;  ///< processor with the dirty/exclusive copy
+
+    /// Home-node occupancy: remote transactions on a line serialize at
+    /// its directory, so concurrent polls queue up and delay each other
+    /// *and* the holder's release — the "overwhelming traffic" effect
+    /// that makes test&set polling collapse under contention
+    /// (thesis Section 3.1.1). Local cache hits bypass the directory.
+    std::uint64_t busy_until = 0;
+
+    /// Machine instance this state belongs to. Shared objects may
+    /// outlive a Machine (e.g. a reactive lock carried across the
+    /// phases of the time-varying contention test); caches and
+    /// timestamps are meaningless in the next machine and are reset on
+    /// first touch. The *value* of the atomic persists, as it should.
+    std::uint64_t machine_epoch = 0;
+};
+
+/// Charges the running processor for a load of this line.
+void charge_read(Directory& dir);
+
+/// Charges the running processor for a store to this line.
+void charge_write(Directory& dir);
+
+/// Charges the running processor for an atomic RMW on this line.
+void charge_rmw(Directory& dir);
+
+/**
+ * Simulated atomic variable mirroring the std::atomic interface subset
+ * used by the protocols. Memory-order arguments are accepted and
+ * ignored: the discrete-event execution is sequentially consistent.
+ *
+ * Every operation's *effect* is applied at issue time (the operation is
+ * linearized when the simulated processor executes it); the charge —
+ * which may suspend the fiber — models the latency the processor pays
+ * afterwards. Applying effects at completion instead would interleave
+ * value updates with directory-state updates inconsistently and allows
+ * a locally-hitting spinner to starve a remote requester forever.
+ *
+ * Outside a simulation (no current machine), operations act directly
+ * with no cost, which lets harness code initialize and inspect shared
+ * state before and after Machine::run().
+ */
+template <typename T>
+class Atomic {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    Atomic() noexcept : value_{} {}
+    Atomic(T v) noexcept : value_(v) {}  // NOLINT(google-explicit-constructor)
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load(std::memory_order = std::memory_order_seq_cst) const noexcept
+    {
+        const T v = value_;
+        charge_read(dir_);
+        return v;
+    }
+
+    void store(T v, std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        value_ = v;
+        charge_write(dir_);
+    }
+
+    T exchange(T v, std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        const T old = value_;
+        value_ = v;
+        charge_rmw(dir_);
+        return old;
+    }
+
+    bool compare_exchange_strong(
+        T& expected, T desired,
+        std::memory_order = std::memory_order_seq_cst,
+        std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        bool ok = false;
+        if (value_ == expected) {
+            value_ = desired;
+            ok = true;
+        } else {
+            expected = value_;
+        }
+        charge_rmw(dir_);
+        return ok;
+    }
+
+    bool compare_exchange_weak(
+        T& expected, T desired,
+        std::memory_order success = std::memory_order_seq_cst,
+        std::memory_order failure = std::memory_order_seq_cst) noexcept
+    {
+        return compare_exchange_strong(expected, desired, success, failure);
+    }
+
+    template <typename U = T>
+        requires std::is_integral_v<U>
+    T fetch_add(T v, std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        const T old = value_;
+        value_ = static_cast<T>(value_ + v);
+        charge_rmw(dir_);
+        return old;
+    }
+
+    template <typename U = T>
+        requires std::is_integral_v<U>
+    T fetch_sub(T v, std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        const T old = value_;
+        value_ = static_cast<T>(value_ - v);
+        charge_rmw(dir_);
+        return old;
+    }
+
+    /// Debug-only peek with no coherence charge (tracing).
+    T debug_peek() const noexcept { return value_; }
+
+  private:
+    mutable Directory dir_;
+    T value_;
+};
+
+}  // namespace reactive::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Histograms for waiting-time profiles (thesis Figures 4.6-4.11).
+ *
+ * The thesis plots waiting-time distributions both on linear axes
+ * (J-structures, futures, barriers) and semi-log axes (mutex waits in
+ * FibHeap/Mutex, Figure 4.10), so both linear- and log-bucketed
+ * histograms are provided, plus an ASCII renderer for the bench output.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace reactive::stats {
+
+/// Fixed-width linear histogram over [0, bucket_width * buckets).
+class LinearHistogram {
+  public:
+    LinearHistogram(double bucket_width, std::size_t buckets)
+        : width_(bucket_width), counts_(buckets, 0)
+    {
+    }
+
+    void add(double x)
+    {
+        stats_.add(x);
+        if (x < 0)
+            x = 0;
+        auto idx = static_cast<std::size_t>(x / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;  // clamp into overflow bucket
+        ++counts_[idx];
+    }
+
+    double bucket_low(std::size_t i) const { return width_ * static_cast<double>(i); }
+    std::uint64_t count(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    const OnlineStats& stats() const { return stats_; }
+
+    /// Fraction of samples at or below x (empirical CDF on bucket edges).
+    double cdf_at(double x) const
+    {
+        if (stats_.count() == 0)
+            return 0.0;
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (bucket_low(i) > x)
+                break;
+            acc += counts_[i];
+        }
+        return static_cast<double>(acc) / static_cast<double>(stats_.count());
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    OnlineStats stats_;
+};
+
+/// Power-of-two bucketed histogram: bucket i holds [2^i, 2^(i+1)).
+class Log2Histogram {
+  public:
+    explicit Log2Histogram(std::size_t buckets = 40) : counts_(buckets, 0) {}
+
+    void add(double x)
+    {
+        stats_.add(x);
+        std::size_t idx = 0;
+        if (x >= 1.0) {
+            idx = static_cast<std::size_t>(std::floor(std::log2(x))) + 1;
+            idx = std::min(idx, counts_.size() - 1);
+        }
+        ++counts_[idx];
+    }
+
+    std::uint64_t count(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    const OnlineStats& stats() const { return stats_; }
+
+    /// Lowest bucket boundary of bucket i (0, 1, 2, 4, 8, ...).
+    double bucket_low(std::size_t i) const
+    {
+        return i == 0 ? 0.0 : std::exp2(static_cast<double>(i - 1));
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    OnlineStats stats_;
+};
+
+/**
+ * Renders a histogram as ASCII bars, skipping leading/trailing empties.
+ * @param label_of  maps bucket index to its left edge label.
+ */
+template <typename Histo, typename LabelFn>
+void render_histogram(std::ostream& os, const Histo& h, LabelFn label_of,
+                      int bar_width = 50)
+{
+    std::uint64_t peak = 0;
+    std::size_t first = h.buckets(), last = 0;
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+        if (h.count(i) > 0) {
+            peak = std::max(peak, h.count(i));
+            first = std::min(first, i);
+            last = i;
+        }
+    }
+    if (peak == 0) {
+        os << "  (no samples)\n";
+        return;
+    }
+    for (std::size_t i = first; i <= last; ++i) {
+        const auto bar = static_cast<int>(
+            static_cast<double>(h.count(i)) / static_cast<double>(peak) *
+            bar_width);
+        std::string label = label_of(i);
+        label.resize(12, ' ');
+        os << "  " << label << ' ' << std::string(static_cast<std::size_t>(bar), '#')
+           << ' ' << h.count(i) << '\n';
+    }
+}
+
+}  // namespace reactive::stats

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford) and sample-based summaries.
+ *
+ * Every experiment harness in bench/ reports through these so that the
+ * tables the harnesses print are computed identically everywhere.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace reactive::stats {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class OnlineStats {
+  public:
+    void add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    void merge(const OnlineStats& other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const auto na = static_cast<double>(n_);
+        const auto nb = static_cast<double>(other.n_);
+        const double nt = na + nb;
+        m2_ += other.m2_ + delta * delta * na * nb / nt;
+        mean_ += delta * nb / nt;
+        n_ += other.n_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    double variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with quantile queries (sorts lazily on demand).
+class Samples {
+  public:
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    void add(double x)
+    {
+        values_.push_back(x);
+        sorted_ = false;
+        online_.add(x);
+    }
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    const std::vector<double>& values() const { return values_; }
+    const OnlineStats& stats() const { return online_; }
+
+    /// Quantile in [0,1] by linear interpolation between order statistics.
+    double quantile(double q)
+    {
+        if (values_.empty())
+            return 0.0;
+        ensure_sorted();
+        q = std::clamp(q, 0.0, 1.0);
+        const double pos = q * static_cast<double>(values_.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+    }
+
+    double median() { return quantile(0.5); }
+
+  private:
+    void ensure_sorted()
+    {
+        if (!sorted_) {
+            std::sort(values_.begin(), values_.end());
+            sorted_ = true;
+        }
+    }
+
+    std::vector<double> values_;
+    OnlineStats online_;
+    bool sorted_ = true;
+};
+
+}  // namespace reactive::stats

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Column-aligned table emitter for the bench binaries.
+ *
+ * Every figure/table harness prints through this so the output format is
+ * uniform: a title line, a header row, aligned data rows, and an optional
+ * trailing note. Cells are strings; numeric helpers format consistently.
+ */
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace reactive::stats {
+
+/// Formats a double with @p digits fractional digits.
+inline std::string fmt(double v, int digits = 2)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+/// Formats an integer-valued count.
+inline std::string fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/// Simple text table with left-aligned first column, right-aligned rest.
+class Table {
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    Table& header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+        return *this;
+    }
+
+    Table& row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    Table& note(std::string text)
+    {
+        notes_.push_back(std::move(text));
+        return *this;
+    }
+
+    void print(std::ostream& os = std::cout) const
+    {
+        std::vector<std::size_t> widths;
+        auto absorb = [&](const std::vector<std::string>& cells) {
+            if (widths.size() < cells.size())
+                widths.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        absorb(header_);
+        for (const auto& r : rows_)
+            absorb(r);
+
+        os << "\n== " << title_ << " ==\n";
+        auto emit = [&](const std::vector<std::string>& cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (i == 0) {
+                    os << "  " << cells[i]
+                       << std::string(widths[0] - cells[i].size(), ' ');
+                } else {
+                    os << "  "
+                       << std::string(widths[i] - cells[i].size(), ' ')
+                       << cells[i];
+                }
+            }
+            os << '\n';
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            std::size_t total = 2;
+            for (std::size_t w : widths)
+                total += w + 2;
+            os << "  " << std::string(total > 4 ? total - 4 : 0, '-') << '\n';
+        }
+        for (const auto& r : rows_)
+            emit(r);
+        for (const auto& n : notes_)
+            os << "  note: " << n << '\n';
+        os.flush();
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+}  // namespace reactive::stats

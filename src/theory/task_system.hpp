@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Task systems and competitive on-line algorithms (thesis Section 2.1).
+ *
+ * A task system (Borodin, Linial & Saks [9]) has n states, m tasks, an
+ * n x n state-transition cost matrix D and an n x m task cost matrix C.
+ * An on-line algorithm chooses, for each request in a sequence, which
+ * state services it (lookahead-one: it may move first). Protocol
+ * selection and waiting-mechanism selection both map onto 2-state task
+ * systems (Figures 3.13 and 4.2), which is how the thesis derives its
+ * 3-competitive switching policy and frames the waiting analysis.
+ *
+ * Provided here:
+ *  - `TaskSystem` with cost evaluation of explicit schedules,
+ *  - `offline_optimal` (dynamic programming over states),
+ *  - `NearlyOblivious2`, the Borodin-Linial-Saks style algorithm for
+ *    two-state systems: move when the accumulated task cost since
+ *    entering the current state exceeds the round-trip transition cost;
+ *    (2n-1) = 3-competitive for n = 2,
+ *  - helpers to build the protocol-selection task system of Fig 3.13.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace reactive::theory {
+
+/// A task system (n states, m tasks, transition costs D, task costs C).
+class TaskSystem {
+  public:
+    TaskSystem(std::vector<std::vector<double>> transition,
+               std::vector<std::vector<double>> task_cost)
+        : d_(std::move(transition)), c_(std::move(task_cost))
+    {
+        assert(!d_.empty() && d_.size() == c_.size());
+        for (std::size_t i = 0; i < d_.size(); ++i)
+            assert(d_[i].size() == d_.size());
+    }
+
+    std::size_t states() const { return d_.size(); }
+    std::size_t tasks() const { return c_.empty() ? 0 : c_[0].size(); }
+    double transition_cost(std::size_t from, std::size_t to) const
+    {
+        return d_[from][to];
+    }
+    double task_cost(std::size_t state, std::size_t task) const
+    {
+        return c_[state][task];
+    }
+
+    /// Total cost of servicing @p requests with an explicit schedule of
+    /// states (one per request), starting from @p initial_state.
+    double schedule_cost(const std::vector<std::size_t>& requests,
+                         const std::vector<std::size_t>& schedule,
+                         std::size_t initial_state = 0) const
+    {
+        assert(requests.size() == schedule.size());
+        double cost = 0;
+        std::size_t cur = initial_state;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            cost += d_[cur][schedule[i]];
+            cur = schedule[i];
+            cost += c_[cur][requests[i]];
+        }
+        return cost;
+    }
+
+  private:
+    std::vector<std::vector<double>> d_;
+    std::vector<std::vector<double>> c_;
+};
+
+/// Cost of the optimal off-line (clairvoyant) schedule, by DP.
+inline double offline_optimal(const TaskSystem& ts,
+                              const std::vector<std::size_t>& requests,
+                              std::size_t initial_state = 0)
+{
+    const std::size_t n = ts.states();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> cost(n, kInf);
+    cost[initial_state] = 0;
+    std::vector<double> next(n);
+    for (std::size_t task : requests) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double best = kInf;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double c = cost[i] + ts.transition_cost(i, j);
+                if (c < best)
+                    best = c;
+            }
+            next[j] = best + ts.task_cost(j, task);
+        }
+        cost = next;
+    }
+    double best = kInf;
+    for (double c : cost)
+        best = std::min(best, c);
+    return best;
+}
+
+/**
+ * The nearly-oblivious on-line algorithm for a two-state task system
+ * (Section 3.4.1): accumulate task costs since entering the current
+ * state; move to the other state when the accumulation exceeds the
+ * round-trip transition cost. 3-competitive.
+ */
+class NearlyOblivious2 {
+  public:
+    explicit NearlyOblivious2(const TaskSystem& ts, std::size_t initial_state = 0)
+        : ts_(ts), state_(initial_state)
+    {
+        assert(ts.states() == 2);
+    }
+
+    /// Services one request; returns the cost incurred (transition +
+    /// task cost in the chosen state).
+    double service(std::size_t task)
+    {
+        const std::size_t other = 1 - state_;
+        const double round_trip = ts_.transition_cost(state_, other) +
+                                  ts_.transition_cost(other, state_);
+        double cost = 0;
+        if (accumulated_ >= round_trip) {
+            cost += ts_.transition_cost(state_, other);
+            state_ = other;
+            accumulated_ = 0;
+        }
+        const double task_cost = ts_.task_cost(state_, task);
+        accumulated_ += task_cost;
+        return cost + task_cost;
+    }
+
+    double run(const std::vector<std::size_t>& requests)
+    {
+        double total = 0;
+        for (std::size_t t : requests)
+            total += service(t);
+        return total;
+    }
+
+    std::size_t state() const { return state_; }
+
+  private:
+    const TaskSystem& ts_;
+    std::size_t state_;
+    double accumulated_ = 0;
+};
+
+/**
+ * Builds the protocol-selection task system of Figure 3.13: state A
+ * (e.g. TTS) is free for low-contention requests and pays a residual
+ * for high-contention ones; state B (e.g. MCS) vice versa.
+ * Task 0 = low contention, task 1 = high contention.
+ */
+inline TaskSystem make_protocol_task_system(double d_ab, double d_ba,
+                                            double residual_a_high,
+                                            double residual_b_low)
+{
+    return TaskSystem({{0, d_ab}, {d_ba, 0}},
+                      {{0, residual_a_high}, {residual_b_low, 0}});
+}
+
+}  // namespace reactive::theory

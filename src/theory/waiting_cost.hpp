@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Expected-cost analysis of two-phase waiting algorithms under
+ * restricted adversaries (thesis Sections 4.4-4.5).
+ *
+ * Model (Section 4.2): a polling mechanism costs t/beta for a wait of t
+ * cycles (beta = 1 for spinning, ~N for switch-spinning on an N-context
+ * multithreaded processor); a signaling mechanism costs a fixed B. A
+ * two-phase algorithm polls until the polling cost reaches
+ * Lpoll = alpha * B, then signals, for a total of (1+alpha)B when the
+ * wait outlasts the polling phase.
+ *
+ * Expected costs (Equations 4.1 and 4.2), for waiting-time pdf f:
+ *
+ *   E[C_2phase/alpha] = Int_0^{a b B} (t/b) f(t) dt
+ *                     + (1+alpha) B Int_{a b B}^inf f(t) dt
+ *   E[C_opt]          = Int_0^{b B} (t/b) f(t) dt + B Int_{b B}^inf f(t) dt
+ *
+ * (a = alpha, b = beta). A *restricted adversary* (Section 4.4.1) fixes
+ * the distribution family and controls only its parameter, so the
+ * competitive factor of a static alpha is
+ * sup_param E[C_2phase]/E[C_opt]. The thesis' results reproduced here:
+ *
+ *  - exponential waits: alpha* = ln(e-1) ~= 0.5413 gives a factor of
+ *    e/(e-1) ~= 1.58, matching the Karlin et al. lower bound for
+ *    on-line algorithms;
+ *  - uniform waits: alpha* ~= 0.62 gives a factor of ~1.62;
+ *  - alpha = 1 (Lpoll = B) is 2-competitive against a strong adversary.
+ *
+ * Closed forms are used where they exist; `worst_case_factor` and
+ * `optimal_alpha` are numeric (grid + golden-section refinement), and
+ * the test suite cross-checks the closed forms against adaptive Simpson
+ * integration and Monte Carlo replay.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "platform/prng.hpp"
+
+namespace reactive::theory {
+
+/// Cost parameters of the waiting mechanisms.
+struct WaitCosts {
+    double block_cost = 500.0;  ///< B, cycles (Alewife: ~500, Table 4.1)
+    double poll_efficiency = 1.0;  ///< beta (1 = spinning, ~N = switch-spin)
+};
+
+/// Exponentially distributed waiting times (producer-consumer under
+/// Poisson arrivals; Section 4.4.3). Parameter: mean = 1/lambda.
+struct ExponentialWait {
+    double mean = 1.0;
+
+    double pdf(double t) const
+    {
+        return t < 0 ? 0.0 : std::exp(-t / mean) / mean;
+    }
+    double cdf(double t) const
+    {
+        return t < 0 ? 0.0 : 1.0 - std::exp(-t / mean);
+    }
+    double sample(XorShift64Star& rng) const
+    {
+        return -mean * std::log(1.0 - rng.uniform01());
+    }
+};
+
+/// Uniformly distributed waiting times on [0, upper] (barrier waits;
+/// Section 4.4.3). Parameter: upper bound.
+struct UniformWait {
+    double upper = 1.0;
+
+    double pdf(double t) const
+    {
+        return (t < 0 || t > upper) ? 0.0 : 1.0 / upper;
+    }
+    double cdf(double t) const
+    {
+        return std::clamp(t / upper, 0.0, 1.0);
+    }
+    double sample(XorShift64Star& rng) const
+    {
+        return upper * rng.uniform01();
+    }
+};
+
+/// E[C_2phase/alpha] for exponential waits (closed form).
+inline double expected_two_phase_cost(const ExponentialWait& w, double alpha,
+                                      const WaitCosts& c)
+{
+    // With x = lambda*beta*B = beta*B/mean:
+    //   E = B * [ 1/x + (1 - 1/x) * exp(-alpha x) ]
+    const double b = c.poll_efficiency;
+    const double big_b = c.block_cost;
+    const double x = b * big_b / w.mean;
+    return big_b * (1.0 / x + (1.0 - 1.0 / x) * std::exp(-alpha * x));
+}
+
+/// E[C_opt] for exponential waits (closed form).
+inline double expected_optimal_cost(const ExponentialWait& w, const WaitCosts& c)
+{
+    const double b = c.poll_efficiency;
+    const double big_b = c.block_cost;
+    const double x = b * big_b / w.mean;
+    return big_b * (1.0 - std::exp(-x)) / x;
+}
+
+/// E[C_2phase/alpha] for uniform waits (closed form, piecewise).
+inline double expected_two_phase_cost(const UniformWait& w, double alpha,
+                                      const WaitCosts& c)
+{
+    const double b = c.poll_efficiency;
+    const double big_b = c.block_cost;
+    const double t_poll = alpha * b * big_b;  // wait length ending phase 1
+    if (w.upper <= t_poll)
+        return w.upper / (2.0 * b);  // always resolved while polling
+    // T^2/(2 b upper) + (1+alpha) B (1 - T/upper)
+    return t_poll * t_poll / (2.0 * b * w.upper) +
+           (1.0 + alpha) * big_b * (1.0 - t_poll / w.upper);
+}
+
+/// E[C_opt] for uniform waits (closed form, piecewise).
+inline double expected_optimal_cost(const UniformWait& w, const WaitCosts& c)
+{
+    const double b = c.poll_efficiency;
+    const double big_b = c.block_cost;
+    const double u = b * big_b;  // poll/signal breakeven wait length
+    if (w.upper <= u)
+        return w.upper / (2.0 * b);
+    return u * u / (2.0 * b * w.upper) + big_b * (1.0 - u / w.upper);
+}
+
+/// Expected competitive factor at one adversary parameter.
+template <typename Dist>
+double expected_factor(const Dist& w, double alpha, const WaitCosts& c)
+{
+    return expected_two_phase_cost(w, alpha, c) / expected_optimal_cost(w, c);
+}
+
+/**
+ * Competitive factor against the restricted adversary: the supremum of
+ * the expected factor over the distribution parameter (numeric sweep on
+ * a log grid of mean-wait/B ratios, refined locally).
+ *
+ * @tparam Dist ExponentialWait or UniformWait.
+ */
+template <typename Dist>
+double worst_case_factor(double alpha, const WaitCosts& c)
+{
+    auto factor_at = [&](double scale) {
+        Dist w;
+        if constexpr (std::is_same_v<Dist, ExponentialWait>)
+            w.mean = scale * c.poll_efficiency * c.block_cost;
+        else
+            w.upper = scale * c.poll_efficiency * c.block_cost;
+        return expected_factor(w, alpha, c);
+    };
+    // Coarse log-grid sweep over the adversary's parameter.
+    double best = 0, best_scale = 1;
+    for (double ls = -4.0; ls <= 4.0; ls += 0.01) {
+        const double s = std::pow(10.0, ls);
+        const double f = factor_at(s);
+        if (f > best) {
+            best = f;
+            best_scale = s;
+        }
+    }
+    // Local refinement (golden section on the log axis).
+    double lo = best_scale / 1.05, hi = best_scale * 1.05;
+    for (int i = 0; i < 60; ++i) {
+        const double m1 = lo + (hi - lo) * 0.382;
+        const double m2 = lo + (hi - lo) * 0.618;
+        if (factor_at(m1) < factor_at(m2))
+            lo = m1;
+        else
+            hi = m2;
+    }
+    return std::max(best, factor_at(0.5 * (lo + hi)));
+}
+
+/**
+ * The optimal static Lpoll fraction alpha* = argmin_alpha of the
+ * worst-case factor (Section 4.5). Exponential -> ln(e-1) ~ 0.5413;
+ * uniform -> ~0.6180.
+ */
+template <typename Dist>
+double optimal_alpha(const WaitCosts& c)
+{
+    double lo = 0.05, hi = 1.5;
+    for (int i = 0; i < 80; ++i) {
+        const double m1 = lo + (hi - lo) * 0.382;
+        const double m2 = lo + (hi - lo) * 0.618;
+        if (worst_case_factor<Dist>(m1, c) < worst_case_factor<Dist>(m2, c))
+            hi = m2;
+        else
+            lo = m1;
+    }
+    return 0.5 * (lo + hi);
+}
+
+/// The thesis' analytic optimum for exponential waits: ln(e - 1).
+inline double exponential_optimal_alpha()
+{
+    return std::log(std::exp(1.0) - 1.0);
+}
+
+/// Adaptive Simpson integration (used by tests to validate the closed
+/// forms against Equation 4.1 evaluated numerically).
+inline double integrate(const std::function<double(double)>& f, double a,
+                        double b, double eps = 1e-9, int depth = 30)
+{
+    std::function<double(double, double, double, double, double, int)> rec =
+        [&](double lo, double hi, double flo, double fhi, double fmid,
+            int d) -> double {
+        const double mid = 0.5 * (lo + hi);
+        const double lm = 0.5 * (lo + mid), rm = 0.5 * (mid + hi);
+        const double flm = f(lm), frm = f(rm);
+        const double s1 = (hi - lo) / 6.0 * (flo + 4 * fmid + fhi);
+        const double s2 = (hi - lo) / 12.0 *
+                          (flo + 4 * flm + 2 * fmid + 4 * frm + fhi);
+        if (d <= 0 || std::fabs(s2 - s1) < 15 * eps)
+            return s2 + (s2 - s1) / 15.0;
+        return rec(lo, mid, flo, fmid, flm, d - 1) +
+               rec(mid, hi, fmid, fhi, frm, d - 1);
+    };
+    const double mid = 0.5 * (a + b);
+    return rec(a, b, f(a), f(b), f(mid), depth);
+}
+
+/**
+ * Monte Carlo replay of waiting algorithms over sampled waits: the
+ * empirical counterpart of the closed forms, also used by the Table
+ * 4.6-style experiments. Returns mean cost per wait.
+ */
+template <typename Dist>
+double replay_two_phase(const Dist& w, double alpha, const WaitCosts& c,
+                        std::size_t samples, std::uint64_t seed = 1)
+{
+    XorShift64Star rng(seed);
+    const double t_poll = alpha * c.poll_efficiency * c.block_cost;
+    double total = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t = w.sample(rng);
+        if (t <= t_poll)
+            total += t / c.poll_efficiency;
+        else
+            total += (1.0 + alpha) * c.block_cost;
+    }
+    return total / static_cast<double>(samples);
+}
+
+}  // namespace reactive::theory

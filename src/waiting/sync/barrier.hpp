@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Barrier with configurable waiting algorithm (thesis Section 4.6.1).
+ *
+ * Sense-reversing centralized barrier: arrivals decrement a counter;
+ * the last arrival resets the counter, flips the shared sense, and
+ * wakes waiters. Barrier waiting times are the uniform-distribution
+ * case of the thesis' analysis (Figures 4.8/4.9, Section 4.4.3).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+#include "stats/summary.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+
+/// Sense-reversing barrier for a fixed participant count.
+template <Platform P>
+class WaitingBarrier {
+  public:
+    /// Per-participant state; reuse the same Node across episodes.
+    struct Node {
+        std::uint32_t sense = 1;
+    };
+
+    explicit WaitingBarrier(std::uint32_t participants, WaitingAlgorithm alg = {})
+        : participants_(participants), alg_(alg)
+    {
+        count_.store(participants, std::memory_order_relaxed);
+        sense_->store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * Arrives at the barrier; returns when all participants arrived.
+     * @param profile optional waiting-time recorder (last arrival
+     *        records 0).
+     */
+    void arrive(Node& node, stats::Samples* profile = nullptr)
+    {
+        const std::uint32_t my_sense = node.sense;
+        node.sense ^= 1u;
+        if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last arrival: reset and release this episode.
+            count_.store(participants_, std::memory_order_relaxed);
+            sense_->store(my_sense, std::memory_order_release);
+            queue_.notify_all();
+            if (profile != nullptr)
+                profile->add(0.0);
+            return;
+        }
+        WaitOutcome out = wait_until<P>(
+            queue_,
+            [this, my_sense] {
+                return sense_->load(std::memory_order_acquire) == my_sense;
+            },
+            alg_);
+        if (profile != nullptr)
+            profile->add(static_cast<double>(out.wait_cycles));
+    }
+
+    std::uint32_t participants() const { return participants_; }
+
+  private:
+    const std::uint32_t participants_;
+    typename P::template Atomic<std::uint32_t> count_{0};
+    CacheAligned<typename P::template Atomic<std::uint32_t>> sense_;
+    typename P::WaitQueue queue_;
+    WaitingAlgorithm alg_;
+};
+
+}  // namespace reactive

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Futures (thesis Section 4.6.1): single-assignment values whose
+ * readers wait with a configurable waiting algorithm.
+ *
+ * A future is produced exactly once (`set_value`) and may be consumed
+ * by any number of readers (`get`); unresolved reads wait. This is the
+ * producer-consumer synchronization type whose waiting times the thesis
+ * measures in Figure 4.7 and models as exponential under Poisson
+ * arrivals (Section 4.4.3).
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+#include "stats/summary.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+
+/**
+ * Single-assignment future.
+ *
+ * @tparam T trivially copyable payload.
+ * @tparam P Platform model.
+ */
+template <typename T, Platform P>
+class FutureValue {
+  public:
+    explicit FutureValue(WaitingAlgorithm alg = {}) : alg_(alg) {}
+
+    /// Resolves the future; must be called exactly once.
+    void set_value(T v)
+    {
+        value_ = v;
+        assert(state_.load(std::memory_order_relaxed) == 0 &&
+               "future resolved twice");
+        state_.store(1, std::memory_order_release);
+        queue_.notify_all();
+    }
+
+    /// True if already resolved (non-blocking probe).
+    bool ready() const { return state_.load(std::memory_order_acquire) != 0; }
+
+    /**
+     * Returns the value, waiting with the configured algorithm.
+     * @param profile optional waiting-time recorder (single-threaded
+     *        collection contexts only, e.g. the simulator).
+     */
+    T get(stats::Samples* profile = nullptr)
+    {
+        WaitOutcome out = wait_until<P>(
+            queue_,
+            [this] { return state_.load(std::memory_order_acquire) != 0; },
+            alg_);
+        if (profile != nullptr)
+            profile->add(static_cast<double>(out.wait_cycles));
+        return value_;
+    }
+
+  private:
+    typename P::template Atomic<std::uint32_t> state_{0};
+    T value_{};
+    typename P::WaitQueue queue_;
+    WaitingAlgorithm alg_;
+};
+
+}  // namespace reactive

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * J-structures (thesis Section 4.6.1): arrays with full/empty bits and
+ * waiting readers — the I-structure [6] variant used on Alewife, where
+ * full/empty bits are hardware-supported per memory word. Readers of an
+ * empty slot wait (Figure 4.6 measures those waits); each slot is
+ * written once per epoch; `reset` empties all slots for reuse.
+ */
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+#include "stats/summary.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+
+/**
+ * Fixed-size array of single-assignment cells with waiting reads.
+ *
+ * @tparam T trivially copyable element.
+ * @tparam P Platform model.
+ */
+template <typename T, Platform P>
+class JStructure {
+  public:
+    explicit JStructure(std::size_t size, WaitingAlgorithm alg = {})
+        : cells_(size), alg_(alg)
+    {
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+    /// Fills slot @p i (must be empty) and wakes its waiting readers.
+    void write(std::size_t i, T v)
+    {
+        Cell& c = cells_[i].value;
+        assert(c.full.load(std::memory_order_relaxed) == 0 &&
+               "J-structure slot written twice");
+        c.value = v;
+        c.full.store(1, std::memory_order_release);
+        c.queue.notify_all();
+    }
+
+    /// True if slot @p i is full (non-blocking probe).
+    bool full(std::size_t i) const
+    {
+        return cells_[i].value.full.load(std::memory_order_acquire) != 0;
+    }
+
+    /**
+     * Reads slot @p i, waiting until it is full.
+     * @param profile optional waiting-time recorder.
+     */
+    T read(std::size_t i, stats::Samples* profile = nullptr)
+    {
+        Cell& c = cells_[i].value;
+        WaitOutcome out = wait_until<P>(
+            c.queue,
+            [&c] { return c.full.load(std::memory_order_acquire) != 0; },
+            alg_);
+        if (profile != nullptr)
+            profile->add(static_cast<double>(out.wait_cycles));
+        return c.value;
+    }
+
+    /// Empties every slot (quiescent callers only).
+    void reset()
+    {
+        for (auto& c : cells_)
+            c.value.full.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct Cell {
+        typename P::template Atomic<std::uint32_t> full{0};
+        T value{};
+        typename P::WaitQueue queue;
+    };
+
+    std::vector<CacheAligned<Cell>> cells_;
+    WaitingAlgorithm alg_;
+};
+
+}  // namespace reactive

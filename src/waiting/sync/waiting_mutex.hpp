@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Mutex with configurable waiting algorithm (thesis Section 4.6.1,
+ * mutual-exclusion synchronization).
+ *
+ * The protocol is deliberately simple (test-and-set word + eventcount):
+ * Chapter 4 studies the *waiting mechanism* dimension in isolation,
+ * with lock waiters not queued (Section 4.4.3 models un-queued mutex
+ * waits); protocol selection is Chapter 3's axis, covered by
+ * ReactiveLock. Waiting-time profiles from this mutex reproduce
+ * Figures 4.10/4.11.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+#include "stats/summary.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+
+/// Mutual-exclusion lock whose waiters use a waiting algorithm.
+template <Platform P>
+class WaitingMutex {
+  public:
+    explicit WaitingMutex(WaitingAlgorithm alg = {}) : alg_(alg) {}
+
+    /// @param profile optional waiting-time recorder (uncontended
+    ///        acquisitions record 0).
+    void lock(stats::Samples* profile = nullptr)
+    {
+        if (try_lock()) {
+            if (profile != nullptr)
+                profile->add(0.0);
+            return;
+        }
+        WaitOutcome out =
+            wait_until<P>(queue_, [this] { return try_lock(); }, alg_);
+        if (profile != nullptr)
+            profile->add(static_cast<double>(out.wait_cycles));
+    }
+
+    bool try_lock()
+    {
+        return locked_.load(std::memory_order_relaxed) == 0 &&
+               locked_.exchange(1, std::memory_order_acquire) == 0;
+    }
+
+    void unlock()
+    {
+        locked_.store(0, std::memory_order_release);
+        queue_.notify_one();
+    }
+
+  private:
+    typename P::template Atomic<std::uint32_t> locked_{0};
+    typename P::WaitQueue queue_;
+    WaitingAlgorithm alg_;
+};
+
+}  // namespace reactive

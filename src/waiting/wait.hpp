@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Waiting algorithms (thesis Chapter 4): always-spin, always-block, and
+ * two-phase waiting, over any Platform's polling and signaling
+ * mechanisms.
+ *
+ * The polling mechanism is the platform's pause (spinning) or — when the
+ * platform provides one — a context switch to another resident thread
+ * (switch-spinning on a block-multithreaded processor, Section 4.1).
+ * The signaling mechanism is the platform's WaitQueue eventcount
+ * (blocking; cost B ~ 500 cycles on Alewife, Table 4.1).
+ *
+ * Two-phase waiting (Section 4.3): poll until the cost of polling
+ * reaches Lpoll, then block. Lpoll is static (Section 4.3.1), expressed
+ * here in cycles; the theory module computes the optimal
+ * Lpoll = alpha* x B for a given waiting-time distribution
+ * (alpha* = ln(e-1) ~ 0.54 exponential, ~0.62 uniform).
+ */
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// Which waiting algorithm a construct uses.
+enum class WaitKind : std::uint8_t {
+    kAlwaysSpin,   ///< poll forever (polling mechanism only)
+    kAlwaysBlock,  ///< signal immediately (no polling phase)
+    kTwoPhase,     ///< poll up to Lpoll cycles, then block
+};
+
+/// How the polling phase yields between polls.
+enum class PollMechanism : std::uint8_t {
+    kSpin,        ///< Platform::pause (spinning)
+    kSwitchSpin,  ///< context switch between resident threads, if the
+                  ///< platform has one (Sparcle switch-spinning)
+};
+
+/// A configured waiting algorithm.
+struct WaitingAlgorithm {
+    WaitKind kind = WaitKind::kTwoPhase;
+    PollMechanism poll = PollMechanism::kSpin;
+    /// Lpoll in cycles (meaningful for kTwoPhase). The thesis default
+    /// for exponential waits: 0.54 x B ~ 270 cycles on Alewife.
+    std::uint64_t poll_limit = 270;
+
+    static WaitingAlgorithm always_spin(PollMechanism p = PollMechanism::kSpin)
+    {
+        return {WaitKind::kAlwaysSpin, p, 0};
+    }
+    static WaitingAlgorithm always_block()
+    {
+        return {WaitKind::kAlwaysBlock, PollMechanism::kSpin, 0};
+    }
+    static WaitingAlgorithm two_phase(std::uint64_t lpoll,
+                                      PollMechanism p = PollMechanism::kSpin)
+    {
+        return {WaitKind::kTwoPhase, p, lpoll};
+    }
+};
+
+/// What one wait cost.
+struct WaitOutcome {
+    std::uint64_t wait_cycles = 0;  ///< start of wait -> condition satisfied
+    bool blocked = false;           ///< reached the signaling phase
+};
+
+namespace detail {
+
+template <typename P>
+concept HasContextSwitch = requires { P::context_switch_poll(); };
+
+/// One polling step: pause or switch-spin.
+template <Platform P>
+void poll_step(PollMechanism mech)
+{
+    if constexpr (HasContextSwitch<P>) {
+        if (mech == PollMechanism::kSwitchSpin) {
+            P::context_switch_poll();
+            return;
+        }
+    }
+    (void)mech;
+    P::pause();
+}
+
+}  // namespace detail
+
+/**
+ * Waits until @p pred() is true using @p alg.
+ *
+ * The predicate must become true before any matching notify on @p q
+ * (standard eventcount contract); it may have acquire semantics and may
+ * be re-evaluated many times. Wakers: make the condition true, then
+ * notify the queue.
+ */
+template <Platform P, typename Pred>
+WaitOutcome wait_until(typename P::WaitQueue& q, Pred&& pred,
+                       const WaitingAlgorithm& alg)
+{
+    WaitOutcome out;
+    if (pred())
+        return out;  // no waiting at all
+    const std::uint64_t t0 = P::now();
+
+    // Phase 1: polling (skipped entirely by always-block).
+    if (alg.kind != WaitKind::kAlwaysBlock) {
+        for (;;) {
+            detail::poll_step<P>(alg.poll);
+            if (pred()) {
+                out.wait_cycles = P::now() - t0;
+                return out;
+            }
+            if (alg.kind == WaitKind::kTwoPhase &&
+                P::now() - t0 >= alg.poll_limit)
+                break;  // polling budget Lpoll exhausted
+        }
+    }
+
+    // Phase 2: signaling (eventcount protocol; loops over spurious or
+    // consumed wakeups).
+    for (;;) {
+        const std::uint32_t epoch = q.prepare_wait();
+        if (pred()) {
+            q.cancel_wait();
+            break;
+        }
+        q.commit_wait(epoch);
+        out.blocked = true;
+        if (pred())
+            break;
+    }
+    out.wait_cycles = P::now() - t0;
+    return out;
+}
+
+}  // namespace reactive

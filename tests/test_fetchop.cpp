@@ -1,0 +1,268 @@
+// Correctness tests for the passive fetch-and-op protocols: lock-based
+// centralized counters and the software combining tree. The key
+// property checked is linearizability of fetch-and-increment: with N
+// increments of +1 from any mix of threads, the returned "prior" values
+// must be exactly the set {initial, initial+1, ..., initial+N-1}.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fetchop/combining_tree.hpp"
+#include "fetchop/locked_fetch_op.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/tts_lock.hpp"
+#include "platform/native_platform.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace reactive {
+namespace {
+
+using sim::SimPlatform;
+
+template <typename F>
+struct NeedsWidth : std::false_type {};
+template <typename P>
+struct NeedsWidth<CombiningFetchOp<P>> : std::true_type {};
+
+template <typename F>
+std::shared_ptr<F> make_fetchop(std::uint32_t width)
+{
+    if constexpr (NeedsWidth<F>::value)
+        return std::make_shared<F>(width);
+    else
+        return std::make_shared<F>();
+}
+
+void expect_priors_are_permutation(std::vector<FetchOpValue> priors,
+                                   FetchOpValue initial = 0)
+{
+    std::sort(priors.begin(), priors.end());
+    for (std::size_t i = 0; i < priors.size(); ++i)
+        ASSERT_EQ(priors[i], initial + static_cast<FetchOpValue>(i))
+            << "prior values are not a dense permutation at index " << i;
+}
+
+// ---- native threads ---------------------------------------------------
+
+template <typename F>
+class NativeFetchOpTest : public ::testing::Test {};
+
+using NativeFetchOpTypes = ::testing::Types<
+    LockedFetchOp<NativePlatform, TtsLock<NativePlatform>>,
+    LockedFetchOp<NativePlatform,
+                  McsLock<NativePlatform, McsVariant::kFetchStore>>,
+    CombiningFetchOp<NativePlatform>>;
+TYPED_TEST_SUITE(NativeFetchOpTest, NativeFetchOpTypes);
+
+TYPED_TEST(NativeFetchOpTest, SingleThreadSequence)
+{
+    auto f = make_fetchop<TypeParam>(8);
+    typename TypeParam::Node node;
+    for (FetchOpValue i = 0; i < 100; ++i)
+        EXPECT_EQ(f->fetch_add(node, 1), i);
+    EXPECT_EQ(f->read(), 100);
+}
+
+TYPED_TEST(NativeFetchOpTest, ConcurrentIncrementsAreLinearizable)
+{
+    const std::uint32_t threads =
+        std::max(2u, std::min(4u, std::thread::hardware_concurrency()));
+    const std::uint32_t iters = 300;
+    auto f = make_fetchop<TypeParam>(threads);
+    std::vector<std::vector<FetchOpValue>> priors(threads);
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            typename TypeParam::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i)
+                priors[t].push_back(f->fetch_add(node, 1));
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    std::vector<FetchOpValue> all;
+    for (auto& v : priors)
+        all.insert(all.end(), v.begin(), v.end());
+    expect_priors_are_permutation(std::move(all));
+    EXPECT_EQ(f->read(), static_cast<FetchOpValue>(threads) * iters);
+}
+
+TYPED_TEST(NativeFetchOpTest, MixedDeltasSumCorrectly)
+{
+    const std::uint32_t threads = 3;
+    auto f = make_fetchop<TypeParam>(threads);
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            typename TypeParam::Node node;
+            for (int i = 0; i < 200; ++i)
+                f->fetch_add(node, static_cast<FetchOpValue>(t + 1));
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(f->read(), 200 * (1 + 2 + 3));
+}
+
+// ---- simulated machine ------------------------------------------------
+
+template <typename F>
+void sim_fetchop_torture(std::uint32_t procs, std::uint32_t iters,
+                         std::uint64_t seed = 1)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto f = make_fetchop<F>(procs);
+    auto priors = std::make_shared<std::vector<FetchOpValue>>();
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename F::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                priors->push_back(f->fetch_add(node, 1));
+                sim::delay(sim::random_below(120));
+            }
+        });
+    }
+    m.run();
+    ASSERT_EQ(priors->size(), static_cast<std::size_t>(procs) * iters);
+    expect_priors_are_permutation(std::move(*priors));
+    EXPECT_EQ(f->read(), static_cast<FetchOpValue>(procs) * iters);
+}
+
+template <typename F>
+class SimFetchOpTest : public ::testing::Test {};
+
+using SimFetchOpTypes = ::testing::Types<
+    LockedFetchOp<SimPlatform, TtsLock<SimPlatform>>,
+    LockedFetchOp<SimPlatform, McsLock<SimPlatform, McsVariant::kFetchStore>>,
+    CombiningFetchOp<SimPlatform>>;
+TYPED_TEST_SUITE(SimFetchOpTest, SimFetchOpTypes);
+
+TYPED_TEST(SimFetchOpTest, HighContentionLinearizable)
+{
+    sim_fetchop_torture<TypeParam>(32, 15);
+}
+
+TYPED_TEST(SimFetchOpTest, LowContentionLinearizable)
+{
+    sim_fetchop_torture<TypeParam>(2, 150);
+}
+
+TYPED_TEST(SimFetchOpTest, SeedSweep)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        sim_fetchop_torture<TypeParam>(12, 20, seed);
+}
+
+// ---- combining-tree specifics ------------------------------------------
+
+TEST(CombiningTreeTest, CombiningActuallyHappens)
+{
+    // Under full contention, some batch reaching the root must carry
+    // more than one request (that is the point of the tree).
+    sim::Machine m(32);
+    auto tree = std::make_shared<CombiningTree<SimPlatform>>(32);
+    auto max_batch = std::make_shared<std::uint32_t>(0);
+    for (std::uint32_t p = 0; p < 32; ++p) {
+        m.spawn(p, [=] {
+            typename CombiningTree<SimPlatform>::Node node;
+            node.leaf = p;
+            for (int i = 0; i < 30; ++i) {
+                TreeResult r = tree->apply(node, 1);
+                ASSERT_TRUE(r.ok);
+                if (r.at_root)
+                    *max_batch = std::max(*max_batch, r.combined);
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(tree->read(), 32 * 30);
+    EXPECT_GT(*max_batch, 1u);
+}
+
+TEST(CombiningTreeTest, WidthRoundsToPowerOfTwo)
+{
+    CombiningTree<NativePlatform> t(5);
+    EXPECT_EQ(t.width(), 8u);
+    CombiningTree<NativePlatform> t1(1);
+    EXPECT_EQ(t1.width(), 1u);
+}
+
+TEST(CombiningTreeTest, InitialValueRespected)
+{
+    CombiningTree<NativePlatform> t(4, 1000);
+    typename CombiningTree<NativePlatform>::Node n;
+    EXPECT_EQ(t.fetch_add(n, 5), 1000);
+    EXPECT_EQ(t.read(), 1005);
+}
+
+TEST(CombiningTreeTest, InvalidRootRejectsAndPropagatesRetry)
+{
+    // With the root invalidated, every process in a combined batch must
+    // observe ok == false and the value must stay untouched.
+    sim::Machine m(8);
+    auto tree = std::make_shared<CombiningTree<SimPlatform>>(8, 7);
+    auto rejected = std::make_shared<int>(0);
+    tree->invalidate();
+    for (std::uint32_t p = 0; p < 8; ++p) {
+        m.spawn(p, [=] {
+            typename CombiningTree<SimPlatform>::Node node;
+            node.leaf = p;
+            TreeResult r = tree->apply(node, 1);
+            if (!r.ok)
+                ++*rejected;
+        });
+    }
+    m.run();
+    EXPECT_EQ(*rejected, 8);
+    tree->validate(7);
+    EXPECT_EQ(tree->read(), 7);
+}
+
+TEST(CombiningTreeTest, InvalidateValidateRoundTrip)
+{
+    CombiningTree<NativePlatform> t(4, 0);
+    EXPECT_TRUE(t.is_valid());
+    EXPECT_TRUE(t.invalidate());
+    EXPECT_FALSE(t.is_valid());
+    EXPECT_FALSE(t.invalidate());  // second invalidate loses
+    t.validate(55);
+    EXPECT_TRUE(t.is_valid());
+    typename CombiningTree<NativePlatform>::Node n;
+    EXPECT_EQ(t.fetch_add(n, 1), 55);
+}
+
+TEST(CombiningTreeTest, ThroughputScalesUnderContentionOnSim)
+{
+    // The defining shape from Figure 3.2: at high contention the
+    // combining tree's per-op overhead must beat the TTS-lock counter's.
+    auto run = []<typename F>(std::type_identity<F>, std::uint32_t procs) {
+        sim::Machine m(procs);
+        auto f = make_fetchop<F>(procs);
+        const std::uint32_t iters = 20;
+        for (std::uint32_t p = 0; p < procs; ++p) {
+            m.spawn(p, [=] {
+                typename F::Node node;
+                for (std::uint32_t i = 0; i < iters; ++i) {
+                    f->fetch_add(node, 1);
+                    sim::delay(sim::random_below(100));
+                }
+            });
+        }
+        m.run();
+        return static_cast<double>(m.elapsed()) / (procs * iters);
+    };
+    const double tree_cost =
+        run(std::type_identity<CombiningFetchOp<SimPlatform>>{}, 64);
+    const double lock_cost = run(
+        std::type_identity<LockedFetchOp<SimPlatform, TtsLock<SimPlatform>>>{},
+        64);
+    EXPECT_LT(tree_cost, lock_cost);
+}
+
+}  // namespace
+}  // namespace reactive

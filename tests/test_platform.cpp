@@ -1,0 +1,199 @@
+// Unit tests for the native platform substrate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/backoff.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/cpu.hpp"
+#include "platform/native_platform.hpp"
+#include "platform/parker.hpp"
+#include "platform/prng.hpp"
+
+namespace reactive {
+namespace {
+
+TEST(CacheLine, AlignmentIsEnforced)
+{
+    struct Pair {
+        CacheAligned<int> a;
+        CacheAligned<int> b;
+    };
+    Pair p;
+    auto pa = reinterpret_cast<std::uintptr_t>(&p.a);
+    auto pb = reinterpret_cast<std::uintptr_t>(&p.b);
+    EXPECT_EQ(pa % kCacheLineSize, 0u);
+    EXPECT_EQ(pb % kCacheLineSize, 0u);
+    EXPECT_GE(pb - pa, kCacheLineSize);
+}
+
+TEST(Prng, DeterministicForSeed)
+{
+    XorShift64Star a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, ZeroSeedRemapped)
+{
+    XorShift64Star z(0);
+    EXPECT_NE(z(), 0u);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    XorShift64Star rng(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Prng, BelowCoversRange)
+{
+    XorShift64Star rng(99);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(Prng, Uniform01Bounds)
+{
+    XorShift64Star rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, SplitMixDistinctSeeds)
+{
+    std::uint64_t state = 1;
+    std::set<std::uint64_t> seeds;
+    for (int i = 0; i < 100; ++i)
+        seeds.insert(splitmix64(state));
+    EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(Backoff, MeanDoublesAndCaps)
+{
+    BackoffParams params;
+    params.initial = 8;
+    params.maximum = 64;
+    ExpBackoff<NativePlatform> b(params);
+    EXPECT_EQ(b.mean(), 8u);
+    b.pause();
+    EXPECT_EQ(b.mean(), 16u);
+    b.pause();
+    b.pause();
+    EXPECT_EQ(b.mean(), 64u);
+    b.pause();
+    EXPECT_EQ(b.mean(), 64u);  // capped
+    b.succeed();
+    EXPECT_EQ(b.mean(), 32u);
+    b.reset();
+    EXPECT_EQ(b.mean(), 8u);
+}
+
+TEST(Backoff, ForContendersScalesCap)
+{
+    auto small = BackoffParams::for_contenders(2);
+    auto large = BackoffParams::for_contenders(64);
+    EXPECT_LT(small.maximum, large.maximum);
+}
+
+TEST(Cpu, TscMonotonicEnough)
+{
+    const std::uint64_t a = tsc_now();
+    spin_for_cycles(1000);
+    const std::uint64_t b = tsc_now();
+    EXPECT_GE(b - a, 1000u);
+}
+
+TEST(NativePlatformTest, RandomBelowInRange)
+{
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(NativePlatform::random_below(17), 17u);
+}
+
+TEST(WaitQueue, NotifyWakesBlockedThread)
+{
+    NativeWaitQueue q;
+    std::atomic<int> stage{0};
+    std::thread waiter([&] {
+        for (;;) {
+            std::uint32_t e = q.prepare_wait();
+            if (stage.load() != 0) {
+                q.cancel_wait();
+                break;
+            }
+            q.commit_wait(e);
+        }
+        stage.store(2);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stage.store(1);
+    q.notify_all();
+    waiter.join();
+    EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(WaitQueue, CancelDoesNotBlock)
+{
+    NativeWaitQueue q;
+    std::uint32_t e = q.prepare_wait();
+    (void)e;
+    q.cancel_wait();  // must not deadlock or consume a wakeup
+    SUCCEED();
+}
+
+TEST(WaitQueue, NotifyBeforeCommitIsNotLost)
+{
+    // The epoch protocol must not lose a wakeup that lands between
+    // prepare_wait and commit_wait.
+    NativeWaitQueue q;
+    std::uint32_t e = q.prepare_wait();
+    q.notify_all();     // epoch moves
+    q.commit_wait(e);   // must return immediately
+    SUCCEED();
+}
+
+TEST(WaitQueue, ManyWaitersAllWake)
+{
+    NativeWaitQueue q;
+    std::atomic<bool> go{false};
+    std::atomic<int> woke{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&] {
+            for (;;) {
+                std::uint32_t e = q.prepare_wait();
+                if (go.load()) {
+                    q.cancel_wait();
+                    break;
+                }
+                q.commit_wait(e);
+            }
+            woke.fetch_add(1);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    go.store(true);
+    q.notify_all();
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(woke.load(), 8);
+}
+
+}  // namespace
+}  // namespace reactive

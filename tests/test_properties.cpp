@@ -1,0 +1,317 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// the core invariants checked across grids of processor counts, seeds,
+// cost models, and algorithm parameters.
+//
+//  - mutual exclusion and completion for every lock protocol,
+//  - fetch-and-increment linearizability (dense prior permutation),
+//  - reactive consistency: protocol changes never lose or duplicate
+//    operations,
+//  - two-phase waiting cost bounds: measured waiting cost of a replayed
+//    distribution never exceeds the competitive bound,
+//  - determinism: same seed => same simulated elapsed time.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/reactive_fetch_op.hpp"
+#include "core/reactive_mutex.hpp"
+#include "fetchop/combining_tree.hpp"
+#include "fetchop/locked_fetch_op.hpp"
+#include "locks/anderson_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/tas_lock.hpp"
+#include "locks/ticket_lock.hpp"
+#include "locks/tts_lock.hpp"
+#include "platform/prng.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+#include "theory/waiting_cost.hpp"
+
+namespace reactive {
+namespace {
+
+using sim::SimPlatform;
+
+// ---- lock exclusion sweep ---------------------------------------------
+
+enum class LockKind {
+    kTas,
+    kTts,
+    kMcsFs,
+    kMcsCas,
+    kTicket,
+    kAnderson,
+    kReactiveAlways,
+    kReactiveCompetitive,
+    kReactiveHysteresis,
+};
+
+const char* lock_kind_name(LockKind k)
+{
+    switch (k) {
+    case LockKind::kTas: return "tas";
+    case LockKind::kTts: return "tts";
+    case LockKind::kMcsFs: return "mcs_fs";
+    case LockKind::kMcsCas: return "mcs_cas";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kAnderson: return "anderson";
+    case LockKind::kReactiveAlways: return "reactive_always";
+    case LockKind::kReactiveCompetitive: return "reactive_competitive";
+    default: return "reactive_hysteresis";
+    }
+}
+
+using LockSweepParam = std::tuple<LockKind, std::uint32_t, std::uint64_t>;
+
+std::string lock_param_name(
+    const ::testing::TestParamInfo<LockSweepParam>& info)
+{
+    return std::string(lock_kind_name(std::get<0>(info.param))) + "_p" +
+           std::to_string(std::get<1>(info.param)) + "_s" +
+           std::to_string(std::get<2>(info.param));
+}
+
+template <typename L>
+void lock_exclusion_property(std::uint32_t procs, std::uint64_t seed,
+                             std::shared_ptr<L> lock)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto inside = std::make_shared<int>(0);
+    auto violations = std::make_shared<int>(0);
+    auto count = std::make_shared<long>(0);
+    const std::uint32_t iters = 200 / procs + 10;
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                typename L::Node node;
+                lock->lock(node);
+                if (++*inside != 1)
+                    ++*violations;
+                sim::delay(5 + sim::random_below(60));
+                if (*inside != 1)
+                    ++*violations;
+                --*inside;
+                ++*count;
+                lock->unlock(node);
+                sim::delay(sim::random_below(120));
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(*violations, 0);
+    EXPECT_EQ(*count, static_cast<long>(procs) * iters);
+}
+
+class LockExclusionSweep : public ::testing::TestWithParam<LockSweepParam> {};
+
+TEST_P(LockExclusionSweep, HoldsMutualExclusion)
+{
+    const auto [kind, procs, seed] = GetParam();
+    switch (kind) {
+    case LockKind::kTas:
+        lock_exclusion_property(procs, seed,
+                                std::make_shared<TasLock<SimPlatform>>());
+        break;
+    case LockKind::kTts:
+        lock_exclusion_property(procs, seed,
+                                std::make_shared<TtsLock<SimPlatform>>());
+        break;
+    case LockKind::kMcsFs:
+        lock_exclusion_property(
+            procs, seed,
+            std::make_shared<McsLock<SimPlatform, McsVariant::kFetchStore>>());
+        break;
+    case LockKind::kMcsCas:
+        lock_exclusion_property(
+            procs, seed,
+            std::make_shared<
+                McsLock<SimPlatform, McsVariant::kCompareSwap>>());
+        break;
+    case LockKind::kTicket:
+        lock_exclusion_property(procs, seed,
+                                std::make_shared<TicketLock<SimPlatform>>());
+        break;
+    case LockKind::kAnderson:
+        lock_exclusion_property(
+            procs, seed, std::make_shared<AndersonLock<SimPlatform>>(procs));
+        break;
+    case LockKind::kReactiveAlways:
+        lock_exclusion_property(
+            procs, seed,
+            std::make_shared<ReactiveNodeLock<SimPlatform>>());
+        break;
+    case LockKind::kReactiveCompetitive:
+        lock_exclusion_property(
+            procs, seed,
+            std::make_shared<
+                ReactiveNodeLock<SimPlatform, Competitive3Policy>>());
+        break;
+    case LockKind::kReactiveHysteresis:
+        lock_exclusion_property(
+            procs, seed,
+            std::make_shared<ReactiveNodeLock<SimPlatform, HysteresisPolicy>>(
+                ReactiveLockParams{}, HysteresisPolicy(4, 8)));
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLocks, LockExclusionSweep,
+    ::testing::Combine(
+        ::testing::Values(LockKind::kTas, LockKind::kTts, LockKind::kMcsFs,
+                          LockKind::kMcsCas, LockKind::kTicket,
+                          LockKind::kAnderson, LockKind::kReactiveAlways,
+                          LockKind::kReactiveCompetitive,
+                          LockKind::kReactiveHysteresis),
+        ::testing::Values(2u, 5u, 16u), ::testing::Values(1ull, 42ull)),
+    lock_param_name);
+
+// ---- fetch-op linearizability sweep -------------------------------------
+
+enum class FopKind { kTtsLock, kQueueLock, kTree, kReactive };
+
+using FopSweepParam = std::tuple<FopKind, std::uint32_t, std::uint64_t>;
+
+std::string fop_param_name(const ::testing::TestParamInfo<FopSweepParam>& info)
+{
+    static const char* names[] = {"ttslock", "queuelock", "tree", "reactive"};
+    return std::string(names[static_cast<int>(std::get<0>(info.param))]) +
+           "_p" + std::to_string(std::get<1>(info.param)) + "_s" +
+           std::to_string(std::get<2>(info.param));
+}
+
+template <typename F>
+void fop_linearizability_property(std::uint32_t procs, std::uint64_t seed,
+                                  std::shared_ptr<F> f)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto priors = std::make_shared<std::vector<FetchOpValue>>();
+    const std::uint32_t iters = 160 / procs + 8;
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename F::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                priors->push_back(f->fetch_add(node, 1));
+                sim::delay(sim::random_below(150));
+            }
+        });
+    }
+    m.run();
+    std::sort(priors->begin(), priors->end());
+    for (std::size_t i = 0; i < priors->size(); ++i)
+        ASSERT_EQ((*priors)[i], static_cast<FetchOpValue>(i));
+    EXPECT_EQ(f->read(), static_cast<FetchOpValue>(procs) * iters);
+}
+
+class FetchOpLinearizabilitySweep
+    : public ::testing::TestWithParam<FopSweepParam> {};
+
+TEST_P(FetchOpLinearizabilitySweep, DensePriorPermutation)
+{
+    const auto [kind, procs, seed] = GetParam();
+    switch (kind) {
+    case FopKind::kTtsLock:
+        fop_linearizability_property(
+            procs, seed,
+            std::make_shared<LockedFetchOp<SimPlatform, TtsLock<SimPlatform>>>());
+        break;
+    case FopKind::kQueueLock:
+        fop_linearizability_property(
+            procs, seed,
+            std::make_shared<LockedFetchOp<
+                SimPlatform, McsLock<SimPlatform, McsVariant::kFetchStore>>>());
+        break;
+    case FopKind::kTree:
+        fop_linearizability_property(
+            procs, seed, std::make_shared<CombiningFetchOp<SimPlatform>>(procs));
+        break;
+    case FopKind::kReactive: {
+        ReactiveFetchOpParams params;
+        params.queue_wait_limit = 600;  // force the full protocol ladder
+        fop_linearizability_property(
+            procs, seed,
+            std::make_shared<ReactiveFetchOp<SimPlatform>>(procs, 0, params));
+        break;
+    }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFetchOps, FetchOpLinearizabilitySweep,
+    ::testing::Combine(::testing::Values(FopKind::kTtsLock,
+                                         FopKind::kQueueLock, FopKind::kTree,
+                                         FopKind::kReactive),
+                       ::testing::Values(2u, 8u, 24u),
+                       ::testing::Values(3ull, 77ull)),
+    fop_param_name);
+
+// ---- two-phase waiting bound sweep --------------------------------------
+
+using WaitBoundParam = std::tuple<double, double>;  // alpha, mean/B
+
+class TwoPhaseBoundSweep : public ::testing::TestWithParam<WaitBoundParam> {};
+
+TEST_P(TwoPhaseBoundSweep, ReplayNeverExceedsWorstCaseBound)
+{
+    const auto [alpha, mean_over_b] = GetParam();
+    theory::WaitCosts costs{500.0, 1.0};
+    theory::ExponentialWait w{mean_over_b * costs.block_cost};
+    const double replayed =
+        theory::replay_two_phase(w, alpha, costs, 200000, 11);
+    const double opt = theory::expected_optimal_cost(w, costs);
+    const double bound = theory::worst_case_factor<theory::ExponentialWait>(
+        alpha, costs);
+    // Monte Carlo noise allowance of 3%.
+    EXPECT_LE(replayed / opt, bound * 1.03)
+        << "alpha " << alpha << " mean/B " << mean_over_b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaTimesMean, TwoPhaseBoundSweep,
+    ::testing::Combine(::testing::Values(0.25, 0.5413, 1.0),
+                       ::testing::Values(0.1, 0.5, 1.0, 3.0, 20.0)),
+    [](const ::testing::TestParamInfo<WaitBoundParam>& info) {
+        auto s = "a" + std::to_string(std::get<0>(info.param)) + "_m" +
+                 std::to_string(std::get<1>(info.param));
+        for (auto& c : s)
+            if (c == '.')
+                c = '_';
+        return s;
+    });
+
+// ---- determinism sweep ----------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, SameSeedSameElapsed)
+{
+    const std::uint64_t seed = GetParam();
+    auto experiment = [&] {
+        sim::Machine m(12, sim::CostModel::alewife(), seed);
+        auto lock = std::make_shared<ReactiveNodeLock<SimPlatform>>();
+        for (std::uint32_t p = 0; p < 12; ++p) {
+            m.spawn(p, [=] {
+                for (int i = 0; i < 25; ++i) {
+                    typename ReactiveNodeLock<SimPlatform>::Node n;
+                    lock->lock(n);
+                    sim::delay(50);
+                    lock->unlock(n);
+                    sim::delay(sim::random_below(200));
+                }
+            });
+        }
+        m.run();
+        return m.elapsed();
+    };
+    EXPECT_EQ(experiment(), experiment());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(1ull, 7ull, 123ull, 9999ull));
+
+}  // namespace
+}  // namespace reactive

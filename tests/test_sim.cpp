@@ -1,0 +1,404 @@
+// Tests for the simulated multiprocessor substrate (the NWO-substitute).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace reactive::sim {
+namespace {
+
+TEST(FiberTest, RunsToCompletion)
+{
+    int x = 0;
+    Fiber f([&] { x = 42; });
+    EXPECT_FALSE(f.done());
+    f.resume();
+    EXPECT_TRUE(f.done());
+    EXPECT_EQ(x, 42);
+}
+
+TEST(FiberTest, YieldAndResume)
+{
+    std::vector<int> order;
+    Fiber f([&] {
+        order.push_back(1);
+        Fiber::yield_current();
+        order.push_back(3);
+    });
+    f.resume();
+    order.push_back(2);
+    f.resume();
+    EXPECT_TRUE(f.done());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FiberTest, ManyFibersInterleave)
+{
+    std::vector<int> order;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    for (int i = 0; i < 4; ++i) {
+        fibers.emplace_back(std::make_unique<Fiber>([&order, i] {
+            order.push_back(i);
+            Fiber::yield_current();
+            order.push_back(i + 10);
+        }));
+    }
+    for (auto& f : fibers)
+        f->resume();
+    for (auto& f : fibers)
+        f->resume();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13}));
+}
+
+TEST(FiberTest, DeepStackUse)
+{
+    // Exercise a good chunk of the stack below the guard page.
+    bool ok = false;
+    Fiber f(
+        [&] {
+            volatile char buf[48 * 1024];
+            for (std::size_t i = 0; i < sizeof(buf); i += 4096)
+                buf[i] = static_cast<char>(i);
+            ok = buf[4096] == static_cast<char>(4096);
+        },
+        64 * 1024);
+    f.resume();
+    EXPECT_TRUE(ok);
+}
+
+TEST(MachineTest, DelayAdvancesClock)
+{
+    Machine m(2);
+    m.spawn(0, [] { delay(1000); });
+    m.spawn(1, [] { delay(500); });
+    m.run();
+    EXPECT_GE(m.cycles(0), 1000u + m.costs().thread_reload);
+    EXPECT_GE(m.cycles(1), 500u);
+    EXPECT_LT(m.cycles(1), m.cycles(0));
+    EXPECT_EQ(m.elapsed(), m.cycles(0));
+}
+
+TEST(MachineTest, DeterministicAcrossRuns)
+{
+    auto experiment = [](std::uint64_t seed) {
+        Machine m(8, CostModel::alewife(), seed);
+        auto counter = std::make_shared<Atomic<int>>(0);
+        for (std::uint32_t p = 0; p < 8; ++p) {
+            m.spawn(p, [counter] {
+                for (int i = 0; i < 50; ++i) {
+                    counter->fetch_add(1);
+                    delay(random_below(100));
+                }
+            });
+        }
+        m.run();
+        return m.elapsed();
+    };
+    EXPECT_EQ(experiment(3), experiment(3));
+    EXPECT_NE(experiment(3), experiment(4));  // seeds change the schedule
+}
+
+TEST(MachineTest, AtomicCoherenceCosts)
+{
+    Machine m(2);
+    std::uint64_t local_hit_time = 0, remote_time = 0;
+    auto shared = std::make_shared<Atomic<int>>(0);
+    m.spawn(0, [&, shared] {
+        shared->store(1);  // miss: first touch
+        const std::uint64_t t0 = now();
+        shared->store(2);  // owned: cache hit
+        local_hit_time = now() - t0;
+        delay(10000);      // let cpu1 take the line
+        const std::uint64_t t1 = now();
+        shared->store(3);  // must invalidate cpu1's copy
+        remote_time = now() - t1;
+    });
+    m.spawn(1, [shared] {
+        delay(2000);
+        (void)shared->load();  // become a sharer
+        delay(20000);
+    });
+    m.run();
+    EXPECT_EQ(local_hit_time, m.costs().cache_hit);
+    EXPECT_GT(remote_time, local_hit_time * 2);
+}
+
+TEST(MachineTest, InvalidationCostScalesWithSharers)
+{
+    auto release_cost = [](std::uint32_t sharers) {
+        Machine m(sharers + 1);
+        auto flag = std::make_shared<Atomic<int>>(0);
+        auto cost = std::make_shared<std::uint64_t>(0);
+        for (std::uint32_t p = 1; p <= sharers; ++p)
+            m.spawn(p, [flag] { (void)flag->load(); });
+        m.spawn(0, [flag, cost] {
+            delay(5000);  // after all sharers cached the line
+            const std::uint64_t t0 = now();
+            flag->store(1);
+            *cost = now() - t0;
+        });
+        m.run();
+        return *cost;
+    };
+    const std::uint64_t few = release_cost(2);
+    const std::uint64_t many = release_cost(32);
+    EXPECT_GT(many, few + 100);  // sequential invalidations + overflow trap
+}
+
+TEST(MachineTest, FullMapDirectoryCheaperThanLimited)
+{
+    auto storm = [](CostModel cm) {
+        Machine m(33, cm);
+        auto flag = std::make_shared<Atomic<int>>(0);
+        auto cost = std::make_shared<std::uint64_t>(0);
+        for (std::uint32_t p = 1; p <= 32; ++p)
+            m.spawn(p, [flag] { (void)flag->load(); });
+        m.spawn(0, [flag, cost] {
+            delay(5000);
+            const std::uint64_t t0 = now();
+            flag->store(1);
+            *cost = now() - t0;
+        });
+        m.run();
+        return *cost;
+    };
+    EXPECT_LT(storm(CostModel::dirnnb()), storm(CostModel::alewife()));
+}
+
+TEST(MachineTest, MessagesDeliveredInOrder)
+{
+    Machine m(2);
+    auto log = std::make_shared<std::vector<int>>();
+    m.spawn(0, [&m, log] {
+        m.send(1, [log] { log->push_back(1); });
+        m.send(1, [log] { log->push_back(2); });
+        m.send(1, [log] { log->push_back(3); });
+        delay(1000);
+    });
+    m.spawn(1, [] { delay(2000); });
+    m.run();
+    EXPECT_EQ(*log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(m.stats().messages, 3u);
+    EXPECT_EQ(m.stats().handlers, 3u);
+}
+
+TEST(MachineTest, MessageRoundTrip)
+{
+    Machine m(2);
+    auto reply_flag = std::make_shared<Atomic<int>>(0);
+    std::uint64_t rtt = 0;
+    m.spawn(0, [&, reply_flag] {
+        const std::uint64_t t0 = now();
+        m.send(1, [&m, reply_flag] {
+            // Handler runs on cpu 1; reply to cpu 0.
+            m.send(0, [reply_flag] { reply_flag->store(1); });
+        });
+        while (reply_flag->load() == 0)
+            pause();
+        rtt = now() - t0;
+    });
+    m.run();
+    const auto& c = m.costs();
+    EXPECT_GE(rtt, 2u * (c.msg_send_overhead + c.msg_latency));
+    EXPECT_EQ(m.stats().handlers, 2u);
+}
+
+TEST(MachineTest, MessageToSelfDelivered)
+{
+    Machine m(1);
+    auto got = std::make_shared<Atomic<int>>(0);
+    m.spawn(0, [&m, got] {
+        m.send(0, [got] { got->store(1); });
+        while (got->load() == 0)
+            pause();
+    });
+    m.run();
+    EXPECT_EQ(got->load(), 1);
+}
+
+TEST(MachineTest, WaitQueueBlocksAndWakes)
+{
+    Machine m(2, CostModel::alewife());
+    auto q = std::make_shared<SimWaitQueue>();
+    auto data = std::make_shared<Atomic<int>>(0);
+    auto observed = std::make_shared<int>(-1);
+    m.spawn(0, [q, data, observed] {
+        for (;;) {
+            std::uint32_t e = q->prepare_wait();
+            if (data->load() != 0) {
+                q->cancel_wait();
+                break;
+            }
+            q->commit_wait(e);
+        }
+        *observed = data->load();
+    });
+    m.spawn(1, [q, data] {
+        delay(5000);
+        data->store(7);
+        q->notify_one();
+    });
+    m.run();
+    EXPECT_EQ(*observed, 7);
+    EXPECT_EQ(m.stats().blocks, 1u);
+    EXPECT_EQ(m.stats().wakes, 1u);
+    // The blocked waiter must not have burned cycles while blocked: its
+    // processor clock restarts near the waker's notification time.
+    EXPECT_GT(m.cycles(0), 5000u);
+}
+
+TEST(MachineTest, BlockingCostMatchesTable41)
+{
+    // One thread blocks, another wakes it; the wakee's processor should
+    // be charged roughly unload + reload, and the waker reenable.
+    Machine m(2);
+    auto q = std::make_shared<SimWaitQueue>();
+    auto flag = std::make_shared<Atomic<int>>(0);
+    m.spawn(0, [q, flag] {
+        std::uint32_t e = q->prepare_wait();
+        if (flag->load() == 0)
+            q->commit_wait(e);
+        else
+            q->cancel_wait();
+    });
+    m.spawn(1, [q, flag] {
+        delay(3000);
+        flag->store(1);
+        q->notify_one();
+    });
+    m.run();
+    const auto& c = m.costs();
+    EXPECT_GE(c.blocking_cost(), 400u);  // ~500 cycles on Alewife
+    EXPECT_LE(c.blocking_cost(), 600u);
+    EXPECT_EQ(m.stats().blocks, 1u);
+}
+
+TEST(MachineTest, NotifyAllWakesEveryone)
+{
+    Machine m(5);
+    auto q = std::make_shared<SimWaitQueue>();
+    auto go = std::make_shared<Atomic<int>>(0);
+    auto woke = std::make_shared<Atomic<int>>(0);
+    for (std::uint32_t p = 1; p < 5; ++p) {
+        m.spawn(p, [q, go, woke] {
+            for (;;) {
+                std::uint32_t e = q->prepare_wait();
+                if (go->load() != 0) {
+                    q->cancel_wait();
+                    break;
+                }
+                q->commit_wait(e);
+            }
+            woke->fetch_add(1);
+        });
+    }
+    m.spawn(0, [q, go] {
+        delay(10000);
+        go->store(1);
+        q->notify_all();
+    });
+    m.run();
+    EXPECT_EQ(woke->load(), 4);
+}
+
+TEST(MachineTest, DeadlockDetected)
+{
+    Machine m(1);
+    auto q = std::make_shared<SimWaitQueue>();
+    m.spawn(0, [q] {
+        std::uint32_t e = q->prepare_wait();
+        q->commit_wait(e);  // nobody will ever notify
+    });
+    EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(MachineTest, MultithreadedContextsShareProcessor)
+{
+    CostModel cm = CostModel::multithreaded(4);
+    Machine m(1, cm);
+    auto log = std::make_shared<std::vector<int>>();
+    for (int t = 0; t < 3; ++t) {
+        m.spawn(0, [&m, log, t] {
+            for (int i = 0; i < 3; ++i) {
+                log->push_back(t);
+                m.context_switch();
+            }
+        });
+    }
+    m.run();
+    ASSERT_EQ(log->size(), 9u);
+    // Context switching must interleave the three resident threads.
+    EXPECT_EQ((*log)[0], 0);
+    EXPECT_EQ((*log)[1], 1);
+    EXPECT_EQ((*log)[2], 2);
+    EXPECT_GT(m.stats().context_switches, 0u);
+}
+
+TEST(MachineTest, SpawnFromInsideSim)
+{
+    Machine m(2);
+    auto sum = std::make_shared<Atomic<int>>(0);
+    m.spawn(0, [&m, sum] {
+        for (int i = 0; i < 3; ++i)
+            m.spawn(1, [sum] { sum->fetch_add(1); });
+        delay(100);
+    });
+    m.run();
+    EXPECT_EQ(sum->load(), 3);
+    EXPECT_EQ(m.stats().threads_spawned, 4u);
+}
+
+TEST(MachineTest, ReadySpilloverRunsSequentially)
+{
+    // More threads than hardware contexts on one processor: all must
+    // still complete (loaded as slots free up).
+    Machine m(1);  // 1 hardware context
+    auto count = std::make_shared<Atomic<int>>(0);
+    for (int t = 0; t < 5; ++t)
+        m.spawn(0, [count] {
+            delay(100);
+            count->fetch_add(1);
+        });
+    m.run();
+    EXPECT_EQ(count->load(), 5);
+}
+
+TEST(SimPlatformTest, SatisfiesPlatformConcept)
+{
+    static_assert(reactive::Platform<SimPlatform>);
+    SUCCEED();
+}
+
+TEST(SimPlatformTest, NowAndDelayInsideSim)
+{
+    Machine m(1);
+    std::uint64_t t0 = 0, t1 = 0;
+    m.spawn(0, [&] {
+        t0 = SimPlatform::now();
+        SimPlatform::delay(777);
+        t1 = SimPlatform::now();
+    });
+    m.run();
+    EXPECT_EQ(t1 - t0, 777u);
+}
+
+TEST(SimPlatformTest, AtomicOutsideSimIsDirect)
+{
+    Atomic<int> a(5);
+    EXPECT_EQ(a.load(), 5);
+    a.store(6);
+    EXPECT_EQ(a.exchange(7), 6);
+    int expected = 7;
+    EXPECT_TRUE(a.compare_exchange_strong(expected, 8));
+    EXPECT_EQ(a.fetch_add(2), 8);
+    EXPECT_EQ(a.load(), 10);
+}
+
+}  // namespace
+}  // namespace reactive::sim

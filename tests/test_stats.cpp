@@ -1,0 +1,162 @@
+// Unit tests for the statistics substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace reactive::stats {
+namespace {
+
+TEST(OnlineStatsTest, BasicMoments)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // population variance is 4; sample variance is 32/7
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential)
+{
+    OnlineStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i) * 10 + i;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(SamplesTest, QuantilesInterpolate)
+{
+    Samples s;
+    for (int i = 1; i <= 5; ++i)
+        s.add(i);  // 1..5
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(SamplesTest, EmptyIsSafe)
+{
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(LinearHistogramTest, BucketsAndClamp)
+{
+    LinearHistogram h(10.0, 5);  // [0,10) [10,20) ... [40,50)+overflow
+    h.add(0);
+    h.add(9.9);
+    h.add(10);
+    h.add(49);
+    h.add(1e9);  // clamps into last bucket
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.stats().count(), 5u);
+}
+
+TEST(LinearHistogramTest, CdfMonotone)
+{
+    LinearHistogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i);
+    double prev = 0;
+    for (double x = 0; x < 100; x += 7) {
+        double c = h.cdf_at(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdf_at(1000), 1.0);
+}
+
+TEST(Log2HistogramTest, PowerBuckets)
+{
+    Log2Histogram h(12);
+    h.add(0.0);   // bucket 0
+    h.add(0.5);   // bucket 0
+    h.add(1.0);   // bucket 1: [1,2)
+    h.add(3.0);   // bucket 2: [2,4)
+    h.add(1024);  // bucket 11
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(11), 1u);
+    EXPECT_DOUBLE_EQ(h.bucket_low(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucket_low(3), 4.0);
+}
+
+TEST(TableTest, AlignedOutput)
+{
+    Table t("demo");
+    t.header({"algo", "P=1", "P=64"});
+    t.row({"test-and-set", "30", "4000"});
+    t.row({"mcs", "60", "120"});
+    t.note("cycles per op");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("test-and-set"), std::string::npos);
+    EXPECT_NE(out.find("note: cycles per op"), std::string::npos);
+    // header and rows share column alignment: "P=64" right-aligned above 4000
+    EXPECT_NE(out.find("P=64"), std::string::npos);
+}
+
+TEST(TableTest, FmtHelpers)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(std::uint64_t{42}), "42");
+}
+
+TEST(HistogramRenderTest, RendersBars)
+{
+    LinearHistogram h(1.0, 10);
+    for (int i = 0; i < 50; ++i)
+        h.add(i % 3);
+    std::ostringstream os;
+    render_histogram(os, h, [&](std::size_t i) {
+        return std::to_string(static_cast<int>(h.bucket_low(i)));
+    });
+    EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+TEST(HistogramRenderTest, EmptyHistogram)
+{
+    Log2Histogram h(8);
+    std::ostringstream os;
+    render_histogram(os, h, [](std::size_t) { return std::string("x"); });
+    EXPECT_NE(os.str().find("no samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reactive::stats

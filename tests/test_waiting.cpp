@@ -1,0 +1,395 @@
+// Tests for Chapter 4's waiting algorithms and the synchronization
+// constructs built on them: wait_until semantics, futures,
+// J-structures, barriers, and the waiting mutex, on both platforms.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "platform/native_platform.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_platform.hpp"
+#include "stats/summary.hpp"
+#include "waiting/sync/barrier.hpp"
+#include "waiting/sync/future.hpp"
+#include "waiting/sync/jstructure.hpp"
+#include "waiting/sync/waiting_mutex.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+namespace {
+
+using sim::SimPlatform;
+
+const WaitingAlgorithm kAlgos[] = {
+    WaitingAlgorithm::always_spin(),
+    WaitingAlgorithm::always_block(),
+    WaitingAlgorithm::two_phase(270),
+    WaitingAlgorithm::two_phase(500),
+};
+
+// ---- wait_until semantics ----------------------------------------------
+
+TEST(WaitUntilTest, ImmediateConditionCostsNothing)
+{
+    sim::Machine m(1);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    auto out = std::make_shared<WaitOutcome>();
+    m.spawn(0, [=] {
+        *out = wait_until<SimPlatform>(*q, [] { return true; },
+                                       WaitingAlgorithm::two_phase(270));
+    });
+    m.run();
+    EXPECT_EQ(out->wait_cycles, 0u);
+    EXPECT_FALSE(out->blocked);
+}
+
+TEST(WaitUntilTest, TwoPhaseShortWaitPollsOnly)
+{
+    // Condition satisfied well inside Lpoll: the waiter must not block.
+    sim::Machine m(2);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    auto out = std::make_shared<WaitOutcome>();
+    m.spawn(0, [=] {
+        *out = wait_until<SimPlatform>(*q, [&] { return flag->load() != 0; },
+                                       WaitingAlgorithm::two_phase(500));
+    });
+    m.spawn(1, [=] {
+        sim::delay(100);
+        flag->store(1);
+        q->notify_all();
+    });
+    m.run();
+    EXPECT_FALSE(out->blocked);
+    EXPECT_GT(out->wait_cycles, 0u);
+    EXPECT_LT(out->wait_cycles, 700u);
+    EXPECT_EQ(m.stats().blocks, 0u);
+}
+
+TEST(WaitUntilTest, TwoPhaseLongWaitBlocks)
+{
+    sim::Machine m(2);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    auto out = std::make_shared<WaitOutcome>();
+    m.spawn(0, [=] {
+        *out = wait_until<SimPlatform>(*q, [&] { return flag->load() != 0; },
+                                       WaitingAlgorithm::two_phase(270));
+    });
+    m.spawn(1, [=] {
+        sim::delay(20000);  // far beyond Lpoll
+        flag->store(1);
+        q->notify_all();
+    });
+    m.run();
+    EXPECT_TRUE(out->blocked);
+    EXPECT_GE(out->wait_cycles, 20000u - 500u);
+    EXPECT_EQ(m.stats().blocks, 1u);
+}
+
+TEST(WaitUntilTest, AlwaysSpinNeverBlocks)
+{
+    sim::Machine m(2);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    m.spawn(0, [=] {
+        wait_until<SimPlatform>(*q, [&] { return flag->load() != 0; },
+                                WaitingAlgorithm::always_spin());
+    });
+    m.spawn(1, [=] {
+        sim::delay(5000);
+        flag->store(1);
+    });
+    m.run();
+    EXPECT_EQ(m.stats().blocks, 0u);
+}
+
+TEST(WaitUntilTest, AlwaysBlockBlocksImmediately)
+{
+    sim::Machine m(2);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    auto waiter_cycles = std::make_shared<std::uint64_t>(0);
+    m.spawn(0, [=] {
+        wait_until<SimPlatform>(*q, [&] { return flag->load() != 0; },
+                                WaitingAlgorithm::always_block());
+        *waiter_cycles = sim::now();
+    });
+    m.spawn(1, [=] {
+        sim::delay(10000);
+        flag->store(1);
+        q->notify_all();
+    });
+    m.run();
+    EXPECT_EQ(m.stats().blocks, 1u);
+    // The blocked waiter burned ~B cycles of processor time, not 10000:
+    // its processor was free while blocked (clock restarted at wake).
+    EXPECT_GE(*waiter_cycles, 10000u);
+}
+
+TEST(WaitUntilTest, SwitchSpinningOverlapsWaitWithOtherContexts)
+{
+    // Two threads on one 4-context processor: one switch-spins waiting
+    // for the other's result; the other computes 20000 cycles. With
+    // spinning the wait would cost ~20000 wasted cycles on top of the
+    // compute; switch-spinning hands the processor over (Section 4.1),
+    // so total elapsed stays close to the compute time. Scheduling is
+    // non-preemptive (Section 2.2.4), so the computing thread runs to
+    // completion once switched to.
+    sim::CostModel cm = sim::CostModel::multithreaded(4);
+    sim::Machine m(1, cm);
+    auto flag = std::make_shared<sim::Atomic<int>>(0);
+    auto q = std::make_shared<SimPlatform::WaitQueue>();
+    m.spawn(0, [=] {
+        wait_until<SimPlatform>(
+            *q, [&] { return flag->load() != 0; },
+            WaitingAlgorithm::always_spin(PollMechanism::kSwitchSpin));
+    });
+    m.spawn(0, [=] {
+        sim::delay(20000);
+        flag->store(1);
+    });
+    m.run();
+    EXPECT_GE(m.stats().context_switches, 1u);
+    EXPECT_LT(m.elapsed(), 30000u);  // wait overlapped with compute
+}
+
+// ---- futures ------------------------------------------------------------
+
+TEST(FutureTest, SimSetThenGet)
+{
+    for (const auto& alg : kAlgos) {
+        sim::Machine m(2);
+        auto f = std::make_shared<FutureValue<int, SimPlatform>>(alg);
+        auto got = std::make_shared<int>(0);
+        m.spawn(0, [=] { *got = f->get(); });
+        m.spawn(1, [=] {
+            sim::delay(3000);
+            f->set_value(42);
+        });
+        m.run();
+        EXPECT_EQ(*got, 42);
+    }
+}
+
+TEST(FutureTest, ManyReadersOneWriter)
+{
+    sim::Machine m(8);
+    auto f = std::make_shared<FutureValue<int, SimPlatform>>(
+        WaitingAlgorithm::two_phase(270));
+    auto sum = std::make_shared<long>(0);
+    for (std::uint32_t p = 1; p < 8; ++p)
+        m.spawn(p, [=] { *sum += f->get(); });
+    m.spawn(0, [=] {
+        sim::delay(5000);
+        f->set_value(10);
+    });
+    m.run();
+    EXPECT_EQ(*sum, 70);
+}
+
+TEST(FutureTest, NativeThreads)
+{
+    FutureValue<int, NativePlatform> f(WaitingAlgorithm::two_phase(2000));
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        f.set_value(7);
+    });
+    EXPECT_EQ(f.get(), 7);
+    producer.join();
+    EXPECT_TRUE(f.ready());
+    EXPECT_EQ(f.get(), 7);  // repeated reads fine
+}
+
+TEST(FutureTest, ProfileRecordsWaits)
+{
+    sim::Machine m(2);
+    auto f = std::make_shared<FutureValue<int, SimPlatform>>(
+        WaitingAlgorithm::always_spin());
+    auto profile = std::make_shared<stats::Samples>();
+    m.spawn(0, [=] { f->get(profile.get()); });
+    m.spawn(1, [=] {
+        sim::delay(4000);
+        f->set_value(1);
+    });
+    m.run();
+    ASSERT_EQ(profile->size(), 1u);
+    EXPECT_GT(profile->values()[0], 3000.0);
+}
+
+// ---- J-structures --------------------------------------------------------
+
+TEST(JStructureTest, PipelinedReadersAndWriter)
+{
+    for (const auto& alg : kAlgos) {
+        sim::Machine m(4);
+        auto js = std::make_shared<JStructure<int, SimPlatform>>(64, alg);
+        auto sums = std::make_shared<std::vector<long>>(3, 0);
+        // Producer fills slots with variable grain.
+        m.spawn(0, [=] {
+            for (int i = 0; i < 64; ++i) {
+                sim::delay(100 + sim::random_below(300));
+                js->write(static_cast<std::size_t>(i), i);
+            }
+        });
+        for (std::uint32_t p = 1; p < 4; ++p) {
+            m.spawn(p, [=] {
+                long s = 0;
+                for (int i = 0; i < 64; ++i)
+                    s += js->read(static_cast<std::size_t>(i));
+                (*sums)[p - 1] = s;
+            });
+        }
+        m.run();
+        for (long s : *sums)
+            EXPECT_EQ(s, 64 * 63 / 2);
+    }
+}
+
+TEST(JStructureTest, ResetAllowsReuse)
+{
+    JStructure<int, NativePlatform> js(4);
+    js.write(0, 5);
+    EXPECT_TRUE(js.full(0));
+    EXPECT_EQ(js.read(0), 5);
+    js.reset();
+    EXPECT_FALSE(js.full(0));
+    js.write(0, 6);
+    EXPECT_EQ(js.read(0), 6);
+}
+
+// ---- barrier --------------------------------------------------------------
+
+TEST(BarrierTest, EpisodesStayInLockstep)
+{
+    for (const auto& alg : kAlgos) {
+        const std::uint32_t procs = 8;
+        sim::Machine m(procs);
+        auto bar = std::make_shared<WaitingBarrier<SimPlatform>>(procs, alg);
+        auto phase_counts = std::make_shared<std::vector<int>>(10, 0);
+        auto violations = std::make_shared<int>(0);
+        for (std::uint32_t p = 0; p < procs; ++p) {
+            m.spawn(p, [=] {
+                WaitingBarrier<SimPlatform>::Node node;
+                for (int e = 0; e < 10; ++e) {
+                    sim::delay(sim::random_below(2000));  // skewed arrivals
+                    ++(*phase_counts)[e];
+                    bar->arrive(node);
+                    // After the barrier, everyone must have arrived.
+                    if ((*phase_counts)[e] != static_cast<int>(procs))
+                        ++*violations;
+                }
+            });
+        }
+        m.run();
+        EXPECT_EQ(*violations, 0);
+    }
+}
+
+TEST(BarrierTest, NativeThreads)
+{
+    const std::uint32_t threads = 4;
+    WaitingBarrier<NativePlatform> bar(threads,
+                                       WaitingAlgorithm::two_phase(5000));
+    std::atomic<int> arrived{0};
+    std::atomic<int> violations{0};
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            WaitingBarrier<NativePlatform>::Node node;
+            for (int e = 0; e < 50; ++e) {
+                arrived.fetch_add(1);
+                bar.arrive(node);
+                if (arrived.load() < (e + 1) * static_cast<int>(threads))
+                    violations.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+// ---- waiting mutex ---------------------------------------------------------
+
+TEST(WaitingMutexTest, MutualExclusionAllAlgorithms)
+{
+    for (const auto& alg : kAlgos) {
+        sim::Machine m(8);
+        auto mu = std::make_shared<WaitingMutex<SimPlatform>>(alg);
+        auto inside = std::make_shared<int>(0);
+        auto violations = std::make_shared<int>(0);
+        auto count = std::make_shared<long>(0);
+        for (std::uint32_t p = 0; p < 8; ++p) {
+            m.spawn(p, [=] {
+                for (int i = 0; i < 40; ++i) {
+                    mu->lock();
+                    if (++*inside != 1)
+                        ++*violations;
+                    sim::delay(30 + sim::random_below(50));
+                    --*inside;
+                    ++*count;
+                    mu->unlock();
+                    sim::delay(sim::random_below(200));
+                }
+            });
+        }
+        m.run();
+        EXPECT_EQ(*violations, 0);
+        EXPECT_EQ(*count, 8 * 40);
+    }
+}
+
+TEST(WaitingMutexTest, BlockingFreesTheProcessor)
+{
+    // The waiter blocks (always-block) while the holder computes on
+    // another processor; the blocked waiter's processor must not burn
+    // the wait spinning: the wake resumes it near the unlock time.
+    sim::Machine m(2);
+    auto mu = std::make_shared<WaitingMutex<SimPlatform>>(
+        WaitingAlgorithm::always_block());
+    auto order = std::make_shared<std::vector<int>>();
+    m.spawn(0, [=] {
+        mu->lock();
+        sim::delay(20000);
+        order->push_back(1);
+        mu->unlock();
+    });
+    m.spawn(1, [=] {
+        sim::delay(500);  // ensure the first thread owns the mutex
+        mu->lock();
+        order->push_back(2);
+        mu->unlock();
+    });
+    m.run();
+    EXPECT_EQ(*order, (std::vector<int>{1, 2}));
+    EXPECT_GE(m.stats().blocks, 1u);
+    EXPECT_EQ(m.stats().wakes, m.stats().blocks);
+}
+
+TEST(WaitingMutexTest, ProfileSeparatesContendedWaits)
+{
+    sim::Machine m(4);
+    auto mu = std::make_shared<WaitingMutex<SimPlatform>>(
+        WaitingAlgorithm::two_phase(270));
+    auto profile = std::make_shared<stats::Samples>();
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        m.spawn(p, [=] {
+            for (int i = 0; i < 20; ++i) {
+                mu->lock(profile.get());
+                sim::delay(200);
+                mu->unlock();
+                sim::delay(sim::random_below(100));
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(profile->size(), 80u);
+    EXPECT_GT(profile->stats().max(), 0.0);  // some waits were real
+}
+
+}  // namespace
+}  // namespace reactive
