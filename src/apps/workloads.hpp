@@ -31,6 +31,7 @@
 #include "fetchop/fetchop_concepts.hpp"
 #include "locks/lock_concepts.hpp"
 #include "platform/prng.hpp"
+#include "rw/rw_concepts.hpp"
 #include "sim/machine.hpp"
 #include "sim/sim_platform.hpp"
 
@@ -241,6 +242,123 @@ std::uint64_t run_cholesky(std::uint32_t procs, std::uint32_t updates_per_proc,
                 cl.lock(n);
                 sim::delay(80);  // scatter-add into the column
                 cl.unlock(n);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+// ---- reader-writer workloads (src/rw/) --------------------------------
+
+/**
+ * Shared-table kernel parameterized by read fraction: each processor
+ * performs `ops_per_proc` operations on one table guarded by a single
+ * rwlock; an operation is a lookup (shared acquisition, short hold)
+ * with probability `read_permille`/1000, otherwise an update (exclusive
+ * acquisition, longer hold). This is the canonical read-mostly /
+ * write-heavy axis the mutex-only kernels cannot model: at high read
+ * fractions reader parallelism dominates and the centralized counter
+ * protocol wins; at low read fractions the lock degenerates to a
+ * contended mutex and the queue protocol wins.
+ *
+ * @tparam RW RwLock implementation (the quantity under study).
+ * @return simulated elapsed cycles.
+ */
+template <RwLock RW>
+std::uint64_t run_rw_mix(std::uint32_t procs, std::uint32_t ops_per_proc,
+                         std::uint32_t read_permille, std::uint64_t seed = 1,
+                         std::uint32_t read_hold = 60,
+                         std::uint32_t write_hold = 140,
+                         std::uint32_t think = 400)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto lock = std::make_shared<RW>();
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t i = 0; i < ops_per_proc; ++i) {
+                typename RW::Node n;
+                if (sim::random_below(1000) < read_permille) {
+                    lock->lock_read(n);
+                    sim::delay(read_hold);
+                    lock->unlock_read(n);
+                } else {
+                    lock->lock_write(n);
+                    sim::delay(write_hold);
+                    lock->unlock_write(n);
+                }
+                sim::delay(sim::random_below(think));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/// Read-mostly traffic (95% lookups): the single most common real-world
+/// rwlock scenario — caches, routing tables, configuration snapshots.
+template <RwLock RW>
+std::uint64_t run_read_mostly(std::uint32_t procs, std::uint32_t ops_per_proc,
+                              std::uint64_t seed = 1)
+{
+    return run_rw_mix<RW>(procs, ops_per_proc, /*read_permille=*/950, seed);
+}
+
+/// Write-heavy traffic (25% lookups): the rwlock degenerates toward a
+/// contended mutex; queue handoff and local spinning pay off.
+template <RwLock RW>
+std::uint64_t run_write_heavy(std::uint32_t procs, std::uint32_t ops_per_proc,
+                              std::uint64_t seed = 1)
+{
+    return run_rw_mix<RW>(procs, ops_per_proc, /*read_permille=*/250, seed);
+}
+
+/**
+ * Phase-shifting kernel: the read fraction flips between read-mostly
+ * and write-heavy every `ops_per_phase` operations (per processor),
+ * modeling a cache that alternates between serving lookups and taking
+ * bursts of invalidations. A reactive rwlock must detect each regime
+ * change and re-converge to the protocol the regime favors — the
+ * rwlock analogue of the time-varying contention experiment
+ * (Section 3.7.2).
+ */
+template <RwLock RW>
+std::uint64_t run_rw_phases(std::uint32_t procs, std::uint32_t phases,
+                            std::uint32_t ops_per_phase,
+                            std::uint64_t seed = 1,
+                            std::uint32_t read_permille_hi = 950,
+                            std::uint32_t read_permille_lo = 100,
+                            std::uint32_t read_hold = 60,
+                            std::uint32_t write_hold = 140,
+                            std::uint32_t think = 400)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto lock = std::make_shared<RW>();
+    auto arrived = std::make_shared<sim::Atomic<std::uint32_t>>(0);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (std::uint32_t ph = 0; ph < phases; ++ph) {
+                const std::uint32_t permille =
+                    (ph % 2 == 0) ? read_permille_hi : read_permille_lo;
+                for (std::uint32_t i = 0; i < ops_per_phase; ++i) {
+                    typename RW::Node n;
+                    if (sim::random_below(1000) < permille) {
+                        lock->lock_read(n);
+                        sim::delay(read_hold);
+                        lock->unlock_read(n);
+                    } else {
+                        lock->lock_write(n);
+                        sim::delay(write_hold);
+                        lock->unlock_write(n);
+                    }
+                    sim::delay(sim::random_below(think));
+                }
+                // Crude phase barrier via arrival counting, so regime
+                // changes hit every processor at once.
+                const std::uint32_t target = (ph + 1) * procs;
+                arrived->fetch_add(1);
+                while (static_cast<std::uint32_t>(arrived->load()) < target)
+                    sim::delay(50 + sim::random_below(50));
             }
         });
     }

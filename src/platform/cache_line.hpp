@@ -16,13 +16,12 @@
 
 namespace reactive {
 
-/// Size, in bytes, of the destructive interference granule.
-#if defined(__cpp_lib_hardware_interference_size)
-inline constexpr std::size_t kCacheLineSize =
-    std::hardware_destructive_interference_size;
-#else
+/// Size, in bytes, of the destructive interference granule. Pinned to
+/// 64 rather than std::hardware_destructive_interference_size: the
+/// standard value varies with tuning flags (GCC warns it is an ABI
+/// hazard across TUs), and every target this library cares about uses
+/// 64-byte lines.
 inline constexpr std::size_t kCacheLineSize = 64;
-#endif
 
 /**
  * Wrapper that places @p T alone on its own cache line.

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Fair, locally-spinning queue-based reader-writer lock (Mellor-Crummey
+ * & Scott, PPoPP '91), extended with the consensus-object machinery of
+ * core/reactive_queue.hpp so it can serve as the high-contention
+ * protocol of the reactive rwlock.
+ *
+ * Readers and writers join a single FIFO queue with fetch&store on the
+ * tail and spin on a flag in their *own* queue node, so every waiter
+ * polls a distinct cache line. Consecutive readers overlap: a reader
+ * that reaches the front propagates the grant to an immediately
+ * following reader, and a reader arriving behind an *active* reader
+ * joins it without queuing a full wait. Writers are granted alone, in
+ * arrival order; readers that arrive after a waiting writer queue
+ * behind it (no starvation in either direction).
+ *
+ * Auxiliary centralized state (`reader_count`, `next_writer`) is
+ * touched O(1) times per acquisition — it hands the lock from the last
+ * leaving reader to the next writer — so the protocol keeps the queue
+ * lock's O(1)-remote-references property that makes it win at high
+ * contention.
+ *
+ * Reactive extensions (unused in standalone operation):
+ *  - the tail doubles as the protocol's consensus object, with a
+ *    distinguished INVALID sentinel marking the protocol retired;
+ *  - waiters can be signalled INVALID instead of GO, aborting to the
+ *    dispatcher to retry with the valid protocol;
+ *  - a process holding the other protocol's valid consensus object can
+ *    capture an INVALID tail (`acquire_invalid_write`), becoming the
+ *    queue's writer while validating it, and a holding writer can
+ *    retire the queue (`invalidate`), waking every waiter with INVALID.
+ *
+ * Per-node wait/successor state is packed into one atomic word: the
+ * GO / INVALID signal bits and the successor-class bits must be read
+ * and written together (a reader registering behind a waiting reader
+ * must atomically verify the predecessor is still waiting), which the
+ * original expresses as a CAS on a two-field record.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+#include "rw/rw_concepts.hpp"
+
+namespace reactive {
+
+/**
+ * MCS-style fair queue rwlock with local spinning.
+ *
+ * @tparam P Platform model.
+ */
+template <Platform P>
+class QueueRwLock {
+  public:
+    // Node state word: signal bits (set by the granting predecessor or
+    // the invalidator) plus successor-class bits (set by the successor).
+    static constexpr std::uint32_t kGoBit = 1u;
+    static constexpr std::uint32_t kInvalidBit = 2u;
+    static constexpr std::uint32_t kSuccReaderBit = 4u;
+    static constexpr std::uint32_t kSuccWriterBit = 8u;
+
+    enum class Kind : std::uint32_t { kReader = 0, kWriter = 1 };
+
+    /// Per-acquisition queue node; must live from start to end.
+    struct Node {
+        typename P::template Atomic<Node*> next{nullptr};
+        typename P::template Atomic<std::uint32_t> state{0};
+        Kind kind = Kind::kReader;  // written by owner before enqueue
+    };
+
+    /// How an acquisition attempt concluded.
+    enum class Outcome {
+        kAcquiredEmpty,   ///< got the lock, queue was empty (low contention)
+        kAcquiredWaited,  ///< got the lock after queuing
+        kInvalid,         ///< protocol retired; retry with the other one
+    };
+
+    /// @param initially_valid false leaves the tail INVALID (the state a
+    ///        reactive algorithm starts its non-designated protocols in).
+    explicit QueueRwLock(bool initially_valid = true)
+    {
+        tail_.store(initially_valid ? nullptr : invalid_tail(),
+                    std::memory_order_relaxed);
+    }
+
+    // ---- plain blocking interface (RwLock concept) -------------------
+
+    void lock_read(Node& node)
+    {
+        const Outcome o = start_read(node);
+        assert(o != Outcome::kInvalid &&
+               "invalidated lock used through the plain interface");
+        (void)o;
+    }
+
+    void unlock_read(Node& node) { end_read(node); }
+
+    void lock_write(Node& node)
+    {
+        const Outcome o = start_write(node);
+        assert(o != Outcome::kInvalid &&
+               "invalidated lock used through the plain interface");
+        (void)o;
+    }
+
+    void unlock_write(Node& node) { end_write(node); }
+
+    // ---- queue protocol proper ---------------------------------------
+
+    /// Attempts a shared acquisition with @p node.
+    Outcome start_read(Node& node)
+    {
+        node.kind = Kind::kReader;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == invalid_tail()) {
+            // We head a bogus post-retirement chain; dismantle it so
+            // anyone queued behind us retries too.
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        Outcome out;
+        if (pred == nullptr) {
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            out = Outcome::kAcquiredEmpty;
+        } else if (pred->kind == Kind::kWriter ||
+                   reader_must_block(*pred)) {
+            // Predecessor is a writer, a still-waiting reader we just
+            // registered with (it will propagate the grant), or an
+            // invalidated node (the invalidator's chain walk will reach
+            // us through the link we are about to publish). Block.
+            pred->next.store(&node, std::memory_order_release);
+            if (!wait_for_signal(node))
+                return Outcome::kInvalid;
+            out = Outcome::kAcquiredWaited;
+        } else {
+            // Predecessor is an *active* reader: join it immediately.
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            pred->next.store(&node, std::memory_order_release);
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            out = Outcome::kAcquiredWaited;
+        }
+        // Propagate the grant to an immediately following reader, so
+        // consecutive readers overlap.
+        if (node.state.load(std::memory_order_acquire) & kSuccReaderBit) {
+            Node* succ;
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            succ->state.fetch_or(kGoBit, std::memory_order_release);
+        }
+        return out;
+    }
+
+    /// Releases a shared acquisition.
+    void end_read(Node& node)
+    {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        Node* expected = &node;
+        if (succ != nullptr ||
+            !tail_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            // A waiting writer behind us becomes the reader group's
+            // designated heir; the *last* leaving reader wakes it.
+            if (node.state.load(std::memory_order_acquire) & kSuccWriterBit)
+                next_writer_.store(succ, std::memory_order_seq_cst);
+        }
+        if (reader_count_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+            Node* w = next_writer_.exchange(nullptr,
+                                            std::memory_order_seq_cst);
+            if (w != nullptr)
+                w->state.fetch_or(kGoBit, std::memory_order_release);
+        }
+    }
+
+    /// Attempts an exclusive acquisition with @p node.
+    Outcome start_write(Node& node)
+    {
+        node.kind = Kind::kWriter;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == invalid_tail()) {
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        if (pred == nullptr) {
+            // Queue empty, but a departing reader group may still be
+            // draining: hand ourselves over as the next writer and take
+            // the lock only if no reader is left to do the handoff.
+            // (The store/load and the reader side's fetch_sub/exchange
+            // are all seq_cst: this is a Dekker-style store-then-load
+            // handshake against end_read.)
+            next_writer_.store(&node, std::memory_order_seq_cst);
+            if (reader_count_.load(std::memory_order_seq_cst) == 0 &&
+                next_writer_.exchange(nullptr, std::memory_order_seq_cst) ==
+                    &node) {
+                node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+                return Outcome::kAcquiredEmpty;
+            }
+            return wait_for_signal(node) ? Outcome::kAcquiredWaited
+                                         : Outcome::kInvalid;
+        }
+        pred->state.fetch_or(kSuccWriterBit, std::memory_order_release);
+        pred->next.store(&node, std::memory_order_release);
+        return wait_for_signal(node) ? Outcome::kAcquiredWaited
+                                     : Outcome::kInvalid;
+    }
+
+    /// Releases an exclusive acquisition.
+    void end_write(Node& node)
+    {
+        Node* succ = node.next.load(std::memory_order_acquire);
+        Node* expected = &node;
+        if (succ != nullptr ||
+            !tail_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            if (succ->kind == Kind::kReader)
+                reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            succ->state.fetch_or(kGoBit, std::memory_order_release);
+        }
+    }
+
+    // ---- consensus-object entry points (reactive rwlock only) --------
+
+    /**
+     * Captures the INVALID tail, making @p node the writer of a freshly
+     * validated queue. Must be called only by a process holding the
+     * valid consensus object of the other protocol (serialization of
+     * protocol changes). Competing bogus chains from late
+     * wrong-protocol arrivals are waited out.
+     */
+    void acquire_invalid_write(Node& node)
+    {
+        for (;;) {
+            node.kind = Kind::kWriter;
+            node.next.store(nullptr, std::memory_order_relaxed);
+            node.state.store(0, std::memory_order_relaxed);
+            Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+            if (pred == invalid_tail()) {
+                node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+                return;
+            }
+            assert(pred != nullptr &&
+                   "queue must not be valid-free while another protocol "
+                   "is valid");
+            // We appended onto a bogus chain; its head will dismantle
+            // it and signal us INVALID. Wait it out and retry.
+            pred->next.store(&node, std::memory_order_release);
+            while ((node.state.load(std::memory_order_acquire) &
+                    (kGoBit | kInvalidBit)) == 0)
+                P::pause();
+        }
+    }
+
+    /**
+     * Retires the queue protocol: swings the tail to INVALID and walks
+     * the chain from @p head signalling INVALID to every node. Callers:
+     * the queue's holding *writer* performing a protocol change (head =
+     * its own node; exclusivity guarantees reader_count == 0 and
+     * next_writer == nullptr, so no auxiliary state needs repair), or
+     * the internal bogus-chain cleanup.
+     */
+    void invalidate(Node* head)
+    {
+        Node* tail = tail_.exchange(invalid_tail(), std::memory_order_acq_rel);
+        while (head != tail) {
+            Node* next;
+            while ((next = head->next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            head->state.fetch_or(kInvalidBit, std::memory_order_release);
+            head = next;
+        }
+        head->state.fetch_or(kInvalidBit, std::memory_order_release);
+    }
+
+    // ---- racy inspection (tests, monitoring) -------------------------
+
+    bool is_invalid() const
+    {
+        return tail_.load(std::memory_order_relaxed) == invalid_tail();
+    }
+
+    std::uint32_t reader_count() const
+    {
+        return reader_count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static Node* invalid_tail()
+    {
+        return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(1));
+    }
+
+    /// A reader with reader predecessor @p pred atomically registers as
+    /// its reader successor, verifying in the same step that @p pred is
+    /// still a plain waiting node. True = registered (or @p pred is
+    /// invalidated): the caller must block — the grant will arrive from
+    /// @p pred's propagation (or the invalidator's chain walk). False =
+    /// @p pred is already active: the caller joins it immediately.
+    static bool reader_must_block(Node& pred)
+    {
+        std::uint32_t expected = 0;
+        if (pred.state.compare_exchange_strong(expected, kSuccReaderBit,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+            return true;
+        return (expected & kInvalidBit) != 0;
+    }
+
+    /// Spins on the node's own state word; true = GO, false = INVALID.
+    bool wait_for_signal(Node& node)
+    {
+        std::uint32_t s;
+        while (((s = node.state.load(std::memory_order_acquire)) &
+                (kGoBit | kInvalidBit)) == 0)
+            P::pause();
+        return (s & kGoBit) != 0;
+    }
+
+    // Tail is the hot enqueue point; the reader-count and writer-handoff
+    // words are written on different paths — keep each on its own line.
+    alignas(kCacheLineSize) typename P::template Atomic<Node*> tail_{nullptr};
+    alignas(kCacheLineSize)
+        typename P::template Atomic<std::uint32_t> reader_count_{0};
+    alignas(kCacheLineSize)
+        typename P::template Atomic<Node*> next_writer_{nullptr};
+};
+
+}  // namespace reactive

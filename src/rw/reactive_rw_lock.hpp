@@ -1,0 +1,325 @@
+/**
+ * @file
+ * The reactive reader-writer lock: dynamically selects between the
+ * centralized counter protocol (simple_rw_lock.hpp, best at low
+ * contention — one fetch&add per read acquisition) and the fair queue
+ * protocol (queue_rw_lock.hpp, best at high contention — local spinning
+ * and O(1) remote references per acquisition).
+ *
+ * This is the consensus-object construction of the reactive spin lock
+ * (core/reactive_lock.hpp, thesis Sections 3.2.5-3.3.1) applied to a
+ * primitive with *two* contention axes — reader parallelism and writer
+ * exclusivity:
+ *
+ *  - **Consensus objects.** The simple protocol's word is its consensus
+ *    object (a reserved INVALID bit marks it retired); the queue
+ *    protocol's tail is its own (an INVALID sentinel, exactly as in the
+ *    reactive mutex). The two are never simultaneously free-and-valid,
+ *    so possessing a freshly-acquired valid protocol *is* possessing
+ *    the lock; a process executing a retired protocol observes INVALID
+ *    and retries through the dispatcher.
+ *  - **Protocol changes are made only by a lock-holding writer.** A
+ *    writer excludes readers and writers of both protocols, so it holds
+ *    the full consensus — the rwlock analogue of "changes are made only
+ *    by the lock holder". Readers never switch and never touch policy
+ *    state; their acquisitions are pure protocol executions. This keeps
+ *    the C-serializability argument of Section 3.2.5 intact even though
+ *    read acquisitions overlap.
+ *  - **The mode variable is only a hint**: it routes the dispatcher and
+ *    is usually read-cached; racing it is benign by the invariant above.
+ *  - **Monitoring rides on waiting** (Section 3.2.6): the writer-side
+ *    signals are the mutex path's signals verbatim — failed acquisition
+ *    attempts in simple mode (fed to `Policy::on_tts_acquire`) and
+ *    empty-queue acquisitions in queue mode (`Policy::on_queue_acquire`)
+ *    — so all three switching policies of core/policy.hpp apply
+ *    unchanged.
+ *
+ * The release token rides inside the Node, so ReactiveRwLock satisfies
+ * the plain RwLock concept and is a drop-in replacement for either
+ * static protocol ("the interface to the application program remains
+ * constant", Section 1.1).
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+#include "core/policy.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+#include "rw/queue_rw_lock.hpp"
+#include "rw/rw_concepts.hpp"
+#include "rw/simple_rw_lock.hpp"
+
+namespace reactive {
+
+/// Tunables for the reactive rwlock's contention monitors.
+struct ReactiveRwLockParams {
+    /// Failed write-acquisition attempts within one acquisition that
+    /// mark it "contended" (the simple->queue signal).
+    std::uint32_t write_retry_limit = 8;
+    /// Backoff while spinning on the simple protocol.
+    BackoffParams backoff = BackoffParams::for_contenders(64);
+    /// Optimistic simple-protocol fast path before consulting the mode
+    /// hint (the rwlock analogue of Section 3.7.3's optimistic
+    /// test&set). Disable only for ablation experiments.
+    bool optimistic_simple = true;
+};
+
+/**
+ * Reactive reader-writer lock selecting between the centralized and
+ * queue protocols.
+ *
+ * @tparam P      Platform model.
+ * @tparam Policy switching policy (Section 3.4); shared with the
+ *                reactive mutex via the SwitchPolicy concept.
+ */
+template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+class ReactiveRwLock {
+  public:
+    /// Which protocol currently services requests (the hint variable).
+    enum class Mode : std::uint32_t { kSimple = 0, kQueue = 1 };
+
+    /// Release token: protocol held plus any pending protocol change.
+    /// Only writers carry the switch variants.
+    enum class ReleaseMode : std::uint32_t {
+        kSimple,          ///< release the simple protocol
+        kQueue,           ///< release the queue protocol
+        kSimpleToQueue,   ///< writer release + change simple -> queue
+        kQueueToSimple,   ///< writer release + change queue -> simple
+    };
+
+    /// Per-acquisition context; the queue node and the release token.
+    struct Node {
+        typename QueueRwLock<P>::Node qnode;
+        ReleaseMode rm{ReleaseMode::kSimple};
+    };
+
+    ReactiveRwLock() : ReactiveRwLock(ReactiveRwLockParams{}, Policy{}) {}
+
+    explicit ReactiveRwLock(ReactiveRwLockParams params,
+                            Policy policy = Policy{})
+        : queue_(/*initially_valid=*/false), params_(params), policy_(policy)
+    {
+        // Initial state: simple valid and free, queue invalid,
+        // mode = simple (the low-contention protocol, as in Figure 3.27).
+        mode_->store(static_cast<std::uint32_t>(Mode::kSimple),
+                     std::memory_order_relaxed);
+    }
+
+    // ---- RwLock interface --------------------------------------------
+
+    void lock_read(Node& n)
+    {
+        using Attempt = typename SimpleRwLock<P>::Attempt;
+        // Optimistic fast path: a valid-and-writer-free simple word
+        // admits the reader regardless of the (possibly stale) hint.
+        // No monitoring: readers never feed the policy.
+        if (params_.optimistic_simple &&
+            simple_.try_lock_read() == Attempt::kAcquired) {
+            n.rm = ReleaseMode::kSimple;
+            return;
+        }
+        Mode m = mode();
+        for (;;) {
+            if (m == Mode::kSimple) {
+                if (try_read_simple()) {
+                    n.rm = ReleaseMode::kSimple;
+                    return;
+                }
+                m = Mode::kQueue;
+            } else {
+                if (queue_.start_read(n.qnode) !=
+                    QueueRwLock<P>::Outcome::kInvalid) {
+                    n.rm = ReleaseMode::kQueue;
+                    return;
+                }
+                m = Mode::kSimple;
+            }
+        }
+    }
+
+    void unlock_read(Node& n)
+    {
+        if (n.rm == ReleaseMode::kSimple)
+            simple_.unlock_read();
+        else
+            queue_.end_read(n.qnode);
+    }
+
+    void lock_write(Node& n)
+    {
+        using Attempt = typename SimpleRwLock<P>::Attempt;
+        // Optimistic compare&swap on the simple word (Section 3.7.3).
+        // As in the reactive mutex, the fast path performs no
+        // monitoring: an uncontended win says nothing reliable and
+        // would break streaks that spinning acquirers are building.
+        if (params_.optimistic_simple &&
+            simple_.try_lock_write() == Attempt::kAcquired) {
+            n.rm = ReleaseMode::kSimple;
+            return;
+        }
+        Mode m = mode();
+        for (;;) {
+            if (m == Mode::kSimple) {
+                if (auto r = try_write_simple()) {
+                    n.rm = *r;
+                    return;
+                }
+                m = Mode::kQueue;
+            } else {
+                if (auto r = try_write_queue(n)) {
+                    n.rm = *r;
+                    return;
+                }
+                m = Mode::kSimple;
+            }
+        }
+    }
+
+    void unlock_write(Node& n)
+    {
+        switch (n.rm) {
+        case ReleaseMode::kSimple:
+            simple_.unlock_write();
+            break;
+        case ReleaseMode::kQueue:
+            queue_.end_write(n.qnode);
+            break;
+        case ReleaseMode::kSimpleToQueue:
+            release_simple_to_queue(n);
+            break;
+        case ReleaseMode::kQueueToSimple:
+            release_queue_to_simple(n);
+            break;
+        }
+    }
+
+    // ---- monitoring (tests, experiments) -----------------------------
+
+    /// Current protocol hint.
+    Mode mode() const
+    {
+        return static_cast<Mode>(mode_.value.load(std::memory_order_relaxed));
+    }
+
+    /// Number of completed protocol changes.
+    std::uint64_t protocol_changes() const { return protocol_changes_; }
+
+    /// Policy state access (in-consensus callers only).
+    Policy& policy() { return policy_; }
+
+  private:
+    using Attempt = typename SimpleRwLock<P>::Attempt;
+    using QOutcome = typename QueueRwLock<P>::Outcome;
+
+    /// Simple-protocol read acquisition: spin with backoff while a
+    /// writer is inside; false if the protocol was retired or the hint
+    /// moved on (caller retries with the queue protocol).
+    bool try_read_simple()
+    {
+        ExpBackoff<P> backoff(params_.backoff);
+        for (;;) {
+            switch (simple_.try_lock_read()) {
+            case Attempt::kAcquired:
+                return true;
+            case Attempt::kInvalid:
+                return false;
+            case Attempt::kBusy:
+                break;
+            }
+            backoff.pause();
+            if (mode_.value.load(std::memory_order_relaxed) !=
+                static_cast<std::uint32_t>(Mode::kSimple))
+                return false;
+        }
+    }
+
+    /// Simple-protocol write acquisition: spin with backoff, count
+    /// failed attempts, and feed the policy on success (the caller then
+    /// holds full exclusivity, so policy state is safe to touch).
+    std::optional<ReleaseMode> try_write_simple()
+    {
+        ExpBackoff<P> backoff(params_.backoff);
+        std::uint32_t retries = 0;
+        for (;;) {
+            switch (simple_.try_lock_write()) {
+            case Attempt::kAcquired: {
+                const bool contended = retries > params_.write_retry_limit;
+                return policy_.on_tts_acquire(contended)
+                           ? ReleaseMode::kSimpleToQueue
+                           : ReleaseMode::kSimple;
+            }
+            case Attempt::kInvalid:
+                return std::nullopt;
+            case Attempt::kBusy:
+                ++retries;
+                break;
+            }
+            backoff.pause();
+            if (mode_.value.load(std::memory_order_relaxed) !=
+                static_cast<std::uint32_t>(Mode::kSimple))
+                return std::nullopt;
+        }
+    }
+
+    /// Queue-protocol write acquisition; an empty queue signals low
+    /// contention. nullopt when the protocol was retired.
+    std::optional<ReleaseMode> try_write_queue(Node& n)
+    {
+        switch (queue_.start_write(n.qnode)) {
+        case QOutcome::kAcquiredEmpty:
+            return policy_.on_queue_acquire(/*empty=*/true)
+                       ? ReleaseMode::kQueueToSimple
+                       : ReleaseMode::kQueue;
+        case QOutcome::kAcquiredWaited:
+            return policy_.on_queue_acquire(/*empty=*/false)
+                       ? ReleaseMode::kQueueToSimple
+                       : ReleaseMode::kQueue;
+        case QOutcome::kInvalid:
+        default:
+            return std::nullopt;
+        }
+    }
+
+    /// The holding writer validates the queue (capturing its INVALID
+    /// tail), retires the simple word, flips the hint, and releases via
+    /// the queue. Mirrors release_tts_to_queue (Figure 3.29).
+    void release_simple_to_queue(Node& n)
+    {
+        queue_.acquire_invalid_write(n.qnode);
+        simple_.invalidate_from_writer();
+        mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
+                          std::memory_order_release);
+        ++protocol_changes_;
+        policy_.on_switch();
+        queue_.end_write(n.qnode);
+    }
+
+    /// The holding writer flips the hint, dismantles the queue (waking
+    /// waiters with INVALID so they retry via the simple protocol), and
+    /// validates + frees the simple word. Mirrors release_queue_to_tts.
+    void release_queue_to_simple(Node& n)
+    {
+        mode_.value.store(static_cast<std::uint32_t>(Mode::kSimple),
+                          std::memory_order_release);
+        ++protocol_changes_;
+        policy_.on_switch();
+        queue_.invalidate(&n.qnode);
+        simple_.validate_free();
+    }
+
+    // The mode hint lives on its own (mostly-read) cache line, separate
+    // from the frequently written protocol words (Section 3.2.6).
+    CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
+    SimpleRwLock<P> simple_;
+    QueueRwLock<P> queue_;
+
+    ReactiveRwLockParams params_;
+    Policy policy_;                       // mutated in-consensus only
+    std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
+};
+
+}  // namespace reactive

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Concepts and helpers shared by all reader-writer lock protocols.
+ *
+ * Mirrors locks/lock_concepts.hpp: every rwlock uses the node-passing
+ * interface so queue-based protocols (which need per-acquisition queue
+ * nodes) and centralized protocols (which use an empty Node) are
+ * interchangeable in tests, benchmarks, and the reactive dispatcher.
+ * A node is used for exactly one acquisition — readers and writers each
+ * bring their own — and must stay alive until the matching unlock.
+ */
+#pragma once
+
+#include <concepts>
+
+namespace reactive {
+
+// clang-format off
+/// A reader-writer lock with per-acquisition context. Any number of
+/// readers may hold the lock concurrently; a writer holds it alone.
+template <typename L>
+concept RwLock = requires(L l, typename L::Node n) {
+    typename L::Node;
+    { l.lock_read(n) } -> std::same_as<void>;
+    { l.unlock_read(n) } -> std::same_as<void>;
+    { l.lock_write(n) } -> std::same_as<void>;
+    { l.unlock_write(n) } -> std::same_as<void>;
+};
+// clang-format on
+
+/// RAII shared (reader) guard for any RwLock.
+template <RwLock L>
+class ScopedReadLock {
+  public:
+    explicit ScopedReadLock(L& lock) : lock_(lock) { lock_.lock_read(node_); }
+    ~ScopedReadLock() { lock_.unlock_read(node_); }
+
+    ScopedReadLock(const ScopedReadLock&) = delete;
+    ScopedReadLock& operator=(const ScopedReadLock&) = delete;
+
+  private:
+    L& lock_;
+    typename L::Node node_;
+};
+
+/// RAII exclusive (writer) guard for any RwLock.
+template <RwLock L>
+class ScopedWriteLock {
+  public:
+    explicit ScopedWriteLock(L& lock) : lock_(lock) { lock_.lock_write(node_); }
+    ~ScopedWriteLock() { lock_.unlock_write(node_); }
+
+    ScopedWriteLock(const ScopedWriteLock&) = delete;
+    ScopedWriteLock& operator=(const ScopedWriteLock&) = delete;
+
+  private:
+    L& lock_;
+    typename L::Node node_;
+};
+
+}  // namespace reactive

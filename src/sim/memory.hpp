@@ -152,6 +152,16 @@ class Atomic {
         return old;
     }
 
+    template <typename U = T>
+        requires std::is_integral_v<U>
+    T fetch_or(T v, std::memory_order = std::memory_order_seq_cst) noexcept
+    {
+        const T old = value_;
+        value_ = static_cast<T>(value_ | v);
+        charge_rmw(dir_);
+        return old;
+    }
+
     /// Debug-only peek with no coherence charge (tracing).
     T debug_peek() const noexcept { return value_; }
 

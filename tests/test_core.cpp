@@ -312,24 +312,6 @@ class ReactiveLockPolicyTest : public ::testing::Test {};
 using PolicyTypes = ::testing::Types<AlwaysSwitchPolicy, Competitive3Policy,
                                      HysteresisPolicy>;
 
-template <typename Policy>
-Policy make_policy();
-template <>
-AlwaysSwitchPolicy make_policy()
-{
-    return AlwaysSwitchPolicy{};
-}
-template <>
-Competitive3Policy make_policy()
-{
-    return Competitive3Policy{};
-}
-template <>
-HysteresisPolicy make_policy()
-{
-    return HysteresisPolicy{20, 55};
-}
-
 TYPED_TEST_SUITE(ReactiveLockPolicyTest, PolicyTypes);
 
 TYPED_TEST(ReactiveLockPolicyTest, MutualExclusionHighContention)

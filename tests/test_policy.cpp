@@ -1,0 +1,158 @@
+// Unit tests for the protocol-switching policies (src/core/policy.hpp):
+// the distinguishing property of the 3-competitive policy is that its
+// cumulative residual survives breaks in the signal streak, while
+// hysteresis resets on any break; and on_switch() must clear the
+// decision state of every policy.
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace reactive {
+namespace {
+
+// ---- Competitive3Policy ----------------------------------------------
+
+TEST(Competitive3Test, AccumulatesResidualAcrossStreakBreaks)
+{
+    Competitive3Policy::Params params;
+    params.residual_tts_contended = 150;
+    params.residual_queue_empty = 15;
+    params.switch_round_trip = 8800;
+    Competitive3Policy p(params);
+
+    // 30 contended acquisitions: residual builds but stays below the
+    // switch threshold.
+    for (int i = 0; i < 30; ++i)
+        EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_EQ(p.cumulative_residual(), 30u * 150u);
+
+    // A long run of uncontended acquisitions breaks the streak but must
+    // NOT reset the accumulated residual (this is what separates the
+    // competitive policy from hysteresis and yields the 3x bound).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(p.on_tts_acquire(false));
+    EXPECT_EQ(p.cumulative_residual(), 30u * 150u);
+
+    // Resuming contended acquisitions continues from the old total:
+    // ceil(8800/150) = 59 contended acquisitions trigger the switch.
+    int trues = 30;
+    bool switched = false;
+    for (int i = 0; i < 40 && !switched; ++i) {
+        switched = p.on_tts_acquire(true);
+        ++trues;
+    }
+    EXPECT_TRUE(switched);
+    EXPECT_EQ(trues, 59);
+}
+
+TEST(Competitive3Test, QueueResidualAccumulatesAcrossBreaks)
+{
+    Competitive3Policy::Params params;
+    params.residual_queue_empty = 15;
+    params.switch_round_trip = 8800;
+    Competitive3Policy p(params);
+
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(p.on_queue_acquire(true));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(p.on_queue_acquire(false));  // break: no reset
+    EXPECT_EQ(p.cumulative_residual(), 200u * 15u);
+
+    // ceil(8800/15) = 587 empty acquisitions in total.
+    int empties = 200;
+    bool switched = false;
+    while (!switched && empties < 1000) {
+        switched = p.on_queue_acquire(true);
+        ++empties;
+    }
+    EXPECT_TRUE(switched);
+    EXPECT_EQ(empties, 587);
+}
+
+TEST(Competitive3Test, OnSwitchClearsResidual)
+{
+    Competitive3Policy p;
+    for (int i = 0; i < 20; ++i)
+        (void)p.on_tts_acquire(true);
+    ASSERT_GT(p.cumulative_residual(), 0u);
+    p.on_switch();
+    EXPECT_EQ(p.cumulative_residual(), 0u);
+    // Post-switch accounting starts from zero.
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_EQ(p.cumulative_residual(), 150u);
+}
+
+// ---- HysteresisPolicy ------------------------------------------------
+
+TEST(HysteresisTest, AnyBreakResetsTheStreak)
+{
+    HysteresisPolicy p(/*to_queue_streak=*/3, /*to_tts_streak=*/2);
+
+    // Two contended, a break, then two more: no switch (unlike the
+    // competitive policy, the break discards all prior evidence).
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_FALSE(p.on_tts_acquire(false));
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    // The third consecutive contended acquisition completes the streak.
+    EXPECT_TRUE(p.on_tts_acquire(true));
+}
+
+TEST(HysteresisTest, QueueStreakResetsOnNonEmpty)
+{
+    HysteresisPolicy p(/*to_queue_streak=*/3, /*to_tts_streak=*/2);
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(false));  // break
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_TRUE(p.on_queue_acquire(true));    // 2 consecutive empties
+}
+
+TEST(HysteresisTest, OnSwitchClearsBothStreaks)
+{
+    HysteresisPolicy p(/*to_queue_streak=*/2, /*to_tts_streak=*/2);
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    p.on_switch();
+    // Both streaks must restart from zero.
+    EXPECT_FALSE(p.on_tts_acquire(true));
+    EXPECT_TRUE(p.on_tts_acquire(true));
+    p.on_switch();
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_TRUE(p.on_queue_acquire(true));
+}
+
+// ---- AlwaysSwitchPolicy ----------------------------------------------
+
+TEST(AlwaysSwitchTest, TtsSignalSwitchesImmediately)
+{
+    AlwaysSwitchPolicy p;
+    EXPECT_FALSE(p.on_tts_acquire(false));
+    EXPECT_TRUE(p.on_tts_acquire(true));
+}
+
+TEST(AlwaysSwitchTest, EmptyStreakGuardsQueueSignal)
+{
+    AlwaysSwitchPolicy p(/*empty_streak_limit=*/4);
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(false));  // break resets
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_TRUE(p.on_queue_acquire(true));
+}
+
+TEST(AlwaysSwitchTest, OnSwitchClearsEmptyStreak)
+{
+    AlwaysSwitchPolicy p(/*empty_streak_limit=*/2);
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    p.on_switch();
+    EXPECT_FALSE(p.on_queue_acquire(true));
+    EXPECT_TRUE(p.on_queue_acquire(true));
+}
+
+}  // namespace
+}  // namespace reactive
