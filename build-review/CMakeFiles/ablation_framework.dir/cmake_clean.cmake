@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_framework.dir/bench/ablation_framework.cpp.o"
+  "CMakeFiles/ablation_framework.dir/bench/ablation_framework.cpp.o.d"
+  "ablation_framework"
+  "ablation_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

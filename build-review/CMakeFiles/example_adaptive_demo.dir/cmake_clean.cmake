@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_demo.dir/examples/adaptive_demo.cpp.o"
+  "CMakeFiles/example_adaptive_demo.dir/examples/adaptive_demo.cpp.o.d"
+  "example_adaptive_demo"
+  "example_adaptive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rw_cache.dir/examples/rw_cache.cpp.o"
+  "CMakeFiles/example_rw_cache.dir/examples/rw_cache.cpp.o.d"
+  "example_rw_cache"
+  "example_rw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

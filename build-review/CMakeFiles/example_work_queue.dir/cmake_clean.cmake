@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_work_queue.dir/examples/work_queue.cpp.o"
+  "CMakeFiles/example_work_queue.dir/examples/work_queue.cpp.o.d"
+  "example_work_queue"
+  "example_work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_apps_fetchop.dir/bench/fig_apps_fetchop.cpp.o"
+  "CMakeFiles/fig_apps_fetchop.dir/bench/fig_apps_fetchop.cpp.o.d"
+  "fig_apps_fetchop"
+  "fig_apps_fetchop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_apps_fetchop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_apps_spinlock.dir/bench/fig_apps_spinlock.cpp.o"
+  "CMakeFiles/fig_apps_spinlock.dir/bench/fig_apps_spinlock.cpp.o.d"
+  "fig_apps_spinlock"
+  "fig_apps_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_apps_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_baseline_fetchop.dir/bench/fig_baseline_fetchop.cpp.o"
+  "CMakeFiles/fig_baseline_fetchop.dir/bench/fig_baseline_fetchop.cpp.o.d"
+  "fig_baseline_fetchop"
+  "fig_baseline_fetchop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_baseline_fetchop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

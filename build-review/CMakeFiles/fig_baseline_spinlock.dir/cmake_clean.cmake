@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_baseline_spinlock.dir/bench/fig_baseline_spinlock.cpp.o"
+  "CMakeFiles/fig_baseline_spinlock.dir/bench/fig_baseline_spinlock.cpp.o.d"
+  "fig_baseline_spinlock"
+  "fig_baseline_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_baseline_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_message_passing.dir/bench/fig_message_passing.cpp.o"
+  "CMakeFiles/fig_message_passing.dir/bench/fig_message_passing.cpp.o.d"
+  "fig_message_passing"
+  "fig_message_passing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_multiple_object.dir/bench/fig_multiple_object.cpp.o"
+  "CMakeFiles/fig_multiple_object.dir/bench/fig_multiple_object.cpp.o.d"
+  "fig_multiple_object"
+  "fig_multiple_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_multiple_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_multiple_object.
+# This may be replaced when dependencies are built.

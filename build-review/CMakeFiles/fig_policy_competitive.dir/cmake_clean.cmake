@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_policy_competitive.dir/bench/fig_policy_competitive.cpp.o"
+  "CMakeFiles/fig_policy_competitive.dir/bench/fig_policy_competitive.cpp.o.d"
+  "fig_policy_competitive"
+  "fig_policy_competitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_policy_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_policy_hysteresis.dir/bench/fig_policy_hysteresis.cpp.o"
+  "CMakeFiles/fig_policy_hysteresis.dir/bench/fig_policy_hysteresis.cpp.o.d"
+  "fig_policy_hysteresis"
+  "fig_policy_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_policy_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

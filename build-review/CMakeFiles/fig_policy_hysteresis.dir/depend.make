@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_policy_hysteresis.
+# This may be replaced when dependencies are built.

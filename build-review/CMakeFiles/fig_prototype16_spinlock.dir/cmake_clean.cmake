@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_prototype16_spinlock.dir/bench/fig_prototype16_spinlock.cpp.o"
+  "CMakeFiles/fig_prototype16_spinlock.dir/bench/fig_prototype16_spinlock.cpp.o.d"
+  "fig_prototype16_spinlock"
+  "fig_prototype16_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_prototype16_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

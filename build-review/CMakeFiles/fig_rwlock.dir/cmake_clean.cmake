@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_rwlock.dir/bench/fig_rwlock.cpp.o"
+  "CMakeFiles/fig_rwlock.dir/bench/fig_rwlock.cpp.o.d"
+  "fig_rwlock"
+  "fig_rwlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_rwlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_time_varying.dir/bench/fig_time_varying.cpp.o"
+  "CMakeFiles/fig_time_varying.dir/bench/fig_time_varying.cpp.o.d"
+  "fig_time_varying"
+  "fig_time_varying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_time_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

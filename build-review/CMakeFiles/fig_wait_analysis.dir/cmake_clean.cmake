@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_wait_analysis.dir/bench/fig_wait_analysis.cpp.o"
+  "CMakeFiles/fig_wait_analysis.dir/bench/fig_wait_analysis.cpp.o.d"
+  "fig_wait_analysis"
+  "fig_wait_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_wait_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

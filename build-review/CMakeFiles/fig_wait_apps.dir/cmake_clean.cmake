@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_wait_apps.dir/bench/fig_wait_apps.cpp.o"
+  "CMakeFiles/fig_wait_apps.dir/bench/fig_wait_apps.cpp.o.d"
+  "fig_wait_apps"
+  "fig_wait_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_wait_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

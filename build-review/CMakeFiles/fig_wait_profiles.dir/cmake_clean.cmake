@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_wait_profiles.dir/bench/fig_wait_profiles.cpp.o"
+  "CMakeFiles/fig_wait_profiles.dir/bench/fig_wait_profiles.cpp.o.d"
+  "fig_wait_profiles"
+  "fig_wait_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_wait_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fiber.cpp" "CMakeFiles/reactive_sim.dir/src/sim/fiber.cpp.o" "gcc" "CMakeFiles/reactive_sim.dir/src/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "CMakeFiles/reactive_sim.dir/src/sim/machine.cpp.o" "gcc" "CMakeFiles/reactive_sim.dir/src/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "CMakeFiles/reactive_sim.dir/src/sim/memory.cpp.o" "gcc" "CMakeFiles/reactive_sim.dir/src/sim/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_sim.dir/src/sim/fiber.cpp.o"
+  "CMakeFiles/reactive_sim.dir/src/sim/fiber.cpp.o.d"
+  "CMakeFiles/reactive_sim.dir/src/sim/machine.cpp.o"
+  "CMakeFiles/reactive_sim.dir/src/sim/machine.cpp.o.d"
+  "CMakeFiles/reactive_sim.dir/src/sim/memory.cpp.o"
+  "CMakeFiles/reactive_sim.dir/src/sim/memory.cpp.o.d"
+  "libreactive_sim.a"
+  "libreactive_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreactive_sim.a"
+)

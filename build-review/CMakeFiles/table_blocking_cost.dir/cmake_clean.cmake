@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_blocking_cost.dir/bench/table_blocking_cost.cpp.o"
+  "CMakeFiles/table_blocking_cost.dir/bench/table_blocking_cost.cpp.o.d"
+  "table_blocking_cost"
+  "table_blocking_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_blocking_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_lpoll_half.dir/bench/table_lpoll_half.cpp.o"
+  "CMakeFiles/table_lpoll_half.dir/bench/table_lpoll_half.cpp.o.d"
+  "table_lpoll_half"
+  "table_lpoll_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lpoll_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

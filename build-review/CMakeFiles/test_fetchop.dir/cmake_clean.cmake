@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetchop.dir/tests/test_fetchop.cpp.o"
+  "CMakeFiles/test_fetchop.dir/tests/test_fetchop.cpp.o.d"
+  "test_fetchop"
+  "test_fetchop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetchop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locks.dir/tests/test_locks.cpp.o"
+  "CMakeFiles/test_locks.dir/tests/test_locks.cpp.o.d"
+  "test_locks"
+  "test_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

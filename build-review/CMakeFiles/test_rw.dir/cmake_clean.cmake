@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rw.dir/tests/test_rw.cpp.o"
+  "CMakeFiles/test_rw.dir/tests/test_rw.cpp.o.d"
+  "test_rw"
+  "test_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

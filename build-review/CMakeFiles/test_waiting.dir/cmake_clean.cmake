@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waiting.dir/tests/test_waiting.cpp.o"
+  "CMakeFiles/test_waiting.dir/tests/test_waiting.cpp.o.d"
+  "test_waiting"
+  "test_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

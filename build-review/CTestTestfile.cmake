@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_apps "/root/repo/build-review/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-review/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_fetchop "/root/repo/build-review/test_fetchop")
+set_tests_properties(test_fetchop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_locks "/root/repo/build-review/test_locks")
+set_tests_properties(test_locks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_msg "/root/repo/build-review/test_msg")
+set_tests_properties(test_msg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_platform "/root/repo/build-review/test_platform")
+set_tests_properties(test_platform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_policy "/root/repo/build-review/test_policy")
+set_tests_properties(test_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build-review/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_rw "/root/repo/build-review/test_rw")
+set_tests_properties(test_rw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-review/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_stats "/root/repo/build-review/test_stats")
+set_tests_properties(test_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_theory "/root/repo/build-review/test_theory")
+set_tests_properties(test_theory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_waiting "/root/repo/build-review/test_waiting")
+set_tests_properties(test_waiting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;54;add_test;/root/repo/CMakeLists.txt;0;")
