@@ -18,7 +18,13 @@
 #include "locks/tas_lock.hpp"
 #include "locks/ticket_lock.hpp"
 #include "locks/tts_lock.hpp"
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/reactive_barrier.hpp"
 #include "platform/native_platform.hpp"
+#include "rw/queue_rw_lock.hpp"
+#include "rw/reactive_rw_lock.hpp"
+#include "rw/simple_rw_lock.hpp"
 #include "waiting/sync/barrier.hpp"
 #include "waiting/sync/future.hpp"
 #include "waiting/sync/waiting_mutex.hpp"
@@ -121,6 +127,130 @@ BENCHMARK(BM_FetchOp<reactive::CombiningFetchOp<NativePlatform>>)
     ->Name("fetchop/combining_tree");
 BENCHMARK(BM_FetchOp<reactive::ReactiveFetchOp<NativePlatform>>)
     ->Name("fetchop/reactive");
+
+// ---- reader-writer locks ----------------------------------------------
+//
+// The rwlock analogue of the sim's reader-fraction sweep (fig_rwlock),
+// on real std::atomic hardware: uncontended acquisition latencies for
+// both sides, plus a threaded mixed workload at a read-mostly and a
+// write-heavy fraction. The sim predicts the centralized protocol wins
+// read-mostly traffic and the queue protocol wins write-heavy traffic
+// at higher thread counts; these benchmarks are the hardware check of
+// that crossover (run with --benchmark_filter=rw/).
+
+template <typename RW>
+void BM_RwReadUncontended(benchmark::State& state)
+{
+    RW lock;
+    for (auto _ : state) {
+        typename RW::Node node;
+        lock.lock_read(node);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock_read(node);
+    }
+}
+
+template <typename RW>
+void BM_RwWriteUncontended(benchmark::State& state)
+{
+    RW lock;
+    for (auto _ : state) {
+        typename RW::Node node;
+        lock.lock_write(node);
+        benchmark::DoNotOptimize(&lock);
+        lock.unlock_write(node);
+    }
+}
+
+/**
+ * Threaded mixed workload: each benchmark thread performs lookups
+ * (shared acquisition) with probability range(0)/1000, updates
+ * (exclusive acquisition) otherwise, on one shared lock. The lock is a
+ * function-local static so all benchmark threads (and repetitions)
+ * share it; the reactive variant re-converges at each fraction, which
+ * is exactly the behaviour under test.
+ */
+template <typename RW>
+void BM_RwMixed(benchmark::State& state)
+{
+    static RW lock;
+    const std::uint64_t read_permille =
+        static_cast<std::uint64_t>(state.range(0));
+    // Per-thread deterministic LCG: threads must not share PRNG state
+    // (that would serialize the very paths under test).
+    std::uint64_t x =
+        0x9e3779b97f4a7c15ull * (state.thread_index() + 1) + 1;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        typename RW::Node node;
+        if ((x >> 33) % 1000 < read_permille) {
+            lock.lock_read(node);
+            benchmark::DoNotOptimize(&lock);
+            lock.unlock_read(node);
+        } else {
+            lock.lock_write(node);
+            benchmark::DoNotOptimize(&lock);
+            lock.unlock_write(node);
+        }
+    }
+}
+
+using SimpleRwNative = reactive::SimpleRwLock<NativePlatform>;
+using QueueRwNative = reactive::QueueRwLock<NativePlatform>;
+using ReactiveRwNative = reactive::ReactiveRwLock<NativePlatform>;
+
+BENCHMARK(BM_RwReadUncontended<SimpleRwNative>)->Name("rw/simple_read");
+BENCHMARK(BM_RwReadUncontended<QueueRwNative>)->Name("rw/queue_read");
+BENCHMARK(BM_RwReadUncontended<ReactiveRwNative>)->Name("rw/reactive_read");
+BENCHMARK(BM_RwWriteUncontended<SimpleRwNative>)->Name("rw/simple_write");
+BENCHMARK(BM_RwWriteUncontended<QueueRwNative>)->Name("rw/queue_write");
+BENCHMARK(BM_RwWriteUncontended<ReactiveRwNative>)->Name("rw/reactive_write");
+
+BENCHMARK(BM_RwMixed<SimpleRwNative>)
+    ->Name("rw/simple_mixed")
+    ->ArgName("read_permille")
+    ->Arg(950)
+    ->Arg(250)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+BENCHMARK(BM_RwMixed<QueueRwNative>)
+    ->Name("rw/queue_mixed")
+    ->ArgName("read_permille")
+    ->Arg(950)
+    ->Arg(250)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+BENCHMARK(BM_RwMixed<ReactiveRwNative>)
+    ->Name("rw/reactive_mixed")
+    ->ArgName("read_permille")
+    ->Arg(950)
+    ->Arg(250)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+// ---- barriers ---------------------------------------------------------
+
+template <typename B>
+void BM_BarrierSoloEpisode(benchmark::State& state)
+{
+    B bar(1);
+    typename B::Node node;
+    for (auto _ : state)
+        bar.arrive(node);
+}
+BENCHMARK(BM_BarrierSoloEpisode<reactive::CentralBarrier<NativePlatform>>)
+    ->Name("barrier/central_single_participant");
+BENCHMARK(
+    BM_BarrierSoloEpisode<reactive::CombiningTreeBarrier<NativePlatform>>)
+    ->Name("barrier/tree_single_participant");
+BENCHMARK(BM_BarrierSoloEpisode<reactive::ReactiveBarrier<NativePlatform>>)
+    ->Name("barrier/reactive_single_participant");
 
 void BM_FutureResolvedGet(benchmark::State& state)
 {

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Barrier figure (new in this reproduction; the barrier analogue of
+ * Figure 1.1): cycles per episode for the centralized sense-reversing
+ * barrier, the fan-in-4 combining-tree barrier, and the reactive
+ * barrier, swept over participant counts under two arrival regimes,
+ * plus the per-column best static choice ("ideal").
+ *
+ * Expected shape: under bunched arrivals the central counter serializes
+ * P decrements at its home directory and the release pays an O(P)
+ * invalidation + refill storm on the sense line, so the tree wins
+ * decisively from P~8 up while the central barrier's lower constant
+ * wins at low P (below the fan-in the tree *is* a central barrier plus
+ * bookkeeping). Under straggler-dominated arrivals everyone else's
+ * arrival cost is absorbed into the straggle window and the episode's
+ * critical path is the straggler's solo pass — one RMW + one flip for
+ * the central barrier vs. a full climb — so the central barrier wins
+ * at small and mid P and the regime gap nearly closes; only the O(P)
+ * sequential invalidations its release charges the straggler keep the
+ * tree marginally ahead at the largest P. The reactive barrier should
+ * track the lower envelope on both sides of the crossover, as the
+ * reactive spin lock does for mutexes.
+ *
+ * A third table runs the phase-shifting workload (bunched and straggler
+ * regimes alternating), where neither static protocol can win both
+ * phases, and a final section repeats the two-regime comparison with
+ * real threads on the native platform.
+ */
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "apps/workloads.hpp"
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/reactive_barrier.hpp"
+#include "bench_common.hpp"
+#include "platform/native_platform.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+namespace {
+
+using CentralSim = CentralBarrier<SimPlatform>;
+using TreeSim = CombiningTreeBarrier<SimPlatform>;
+using ReactiveBarrierSim = ReactiveBarrier<SimPlatform, AlwaysSwitchPolicy>;
+
+std::vector<std::uint32_t> barrier_procs(bool full)
+{
+    if (full)
+        return {2, 4, 8, 16, 32, 64, 128};
+    return {2, 4, 8, 16, 32, 64};
+}
+
+std::uint32_t barrier_episodes(std::uint32_t procs, bool full)
+{
+    const std::uint32_t scale = full ? 4 : 1;
+    if (procs <= 8)
+        return 120 * scale;
+    if (procs <= 32)
+        return 60 * scale;
+    return 30 * scale;
+}
+
+/// Simulated cycles per episode for barrier B at one (regime, procs).
+template <typename B>
+double sim_cycles_per_episode(std::uint32_t procs, bool skewed, bool full,
+                              std::uint64_t seed)
+{
+    const std::uint32_t episodes = barrier_episodes(procs, full);
+    const std::uint64_t elapsed =
+        skewed ? apps::run_barrier_straggler<B>(procs, episodes,
+                                                /*straggle=*/30000,
+                                                /*compute=*/200, seed)
+               : apps::run_barrier_uniform<B>(procs, episodes,
+                                              /*compute=*/200, seed);
+    return static_cast<double>(elapsed) / episodes;
+}
+
+void sim_regime_table(const char* title, bool skewed, const BenchArgs& args)
+{
+    stats::Table t(title);
+    std::vector<std::string> header{"algorithm"};
+    for (std::uint32_t p : barrier_procs(args.full))
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    std::vector<std::string> names{"central (counter)", "tree (fan-in 4)",
+                                   "reactive"};
+    std::vector<std::vector<double>> rows(names.size());
+    for (std::uint32_t p : barrier_procs(args.full)) {
+        rows[0].push_back(
+            sim_cycles_per_episode<CentralSim>(p, skewed, args.full, args.seed));
+        rows[1].push_back(
+            sim_cycles_per_episode<TreeSim>(p, skewed, args.full, args.seed));
+        rows[2].push_back(sim_cycles_per_episode<ReactiveBarrierSim>(
+            p, skewed, args.full, args.seed));
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (double v : rows[i])
+            cells.push_back(stats::fmt(v, 0));
+        t.row(cells);
+    }
+    std::vector<std::string> ideal{"ideal (best static)"};
+    for (std::size_t c = 0; c < rows[0].size(); ++c)
+        ideal.push_back(stats::fmt(std::min(rows[0][c], rows[1][c]), 0));
+    t.row(ideal);
+    if (skewed) {
+        t.note("a straggler dominates each episode: the tree's climb is");
+        t.note("pure overhead and central wins until its release's O(P)");
+        t.note("sequential invalidations outgrow the climb (largest P)");
+    } else {
+        t.note("bunched arrivals serialize at the central counter: the tree");
+        t.note("should win at high P, the central constant at low P");
+    }
+    t.note("reactive should track the better protocol on both sides; its");
+    t.note("gap to ideal is the arrival-spread monitoring (stamp store +");
+    t.note("min-combine CAS), the barrier's price of adaptivity");
+    t.print();
+}
+
+// ---- native-thread section --------------------------------------------
+
+/// Wall-clock nanoseconds per episode with real threads. The straggler
+/// regime burns `straggle_cycles` on thread 0 every episode — the same
+/// fixed-imbalance schedule as the sim tables (a rotating straggler is
+/// a different regime; see run_barrier_straggler's comment).
+template <typename B>
+double native_ns_per_episode(std::uint32_t threads, std::uint32_t episodes,
+                             std::uint64_t straggle_cycles)
+{
+    B bar(threads);
+    std::vector<std::thread> pool;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            typename B::Node n;
+            for (std::uint32_t e = 0; e < episodes; ++e) {
+                if (straggle_cycles > 0 && t == 0)
+                    NativePlatform::delay(straggle_cycles);
+                bar.arrive(n);
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                   .count()) /
+           episodes;
+}
+
+void native_table(bool full)
+{
+    const std::uint32_t hw = std::thread::hardware_concurrency();
+    if (hw < 2) {
+        std::cout << "(native section skipped: single-core host)\n";
+        return;
+    }
+    std::vector<std::uint32_t> counts;
+    for (std::uint32_t c : {2u, 4u, 8u, hw}) {
+        if (c <= hw && (counts.empty() || counts.back() != c))
+            counts.push_back(c);
+    }
+    const std::uint32_t episodes = full ? 20000 : 5000;
+    const std::uint32_t straggler_episodes = full ? 2000 : 500;
+
+    for (const bool skewed : {false, true}) {
+        stats::Table t(skewed
+                           ? std::string("barrier (native threads): ns per "
+                                         "episode, straggler arrivals")
+                           : std::string("barrier (native threads): ns per "
+                                         "episode, bunched arrivals"));
+        std::vector<std::string> header{"algorithm"};
+        for (std::uint32_t c : counts)
+            header.push_back("T=" + std::to_string(c));
+        t.header(header);
+        const std::uint64_t straggle = skewed ? 200000 : 0;
+        const std::uint32_t eps = skewed ? straggler_episodes : episodes;
+        std::vector<std::string> central{"central (counter)"};
+        std::vector<std::string> tree{"tree (fan-in 4)"};
+        std::vector<std::string> reactive{"reactive"};
+        for (std::uint32_t c : counts) {
+            central.push_back(stats::fmt(
+                native_ns_per_episode<CentralBarrier<NativePlatform>>(
+                    c, eps, straggle),
+                0));
+            tree.push_back(stats::fmt(
+                native_ns_per_episode<CombiningTreeBarrier<NativePlatform>>(
+                    c, eps, straggle),
+                0));
+            reactive.push_back(stats::fmt(
+                native_ns_per_episode<ReactiveBarrier<NativePlatform>>(
+                    c, eps, straggle),
+                0));
+            std::cerr << "." << std::flush;
+        }
+        std::cerr << "\n";
+        t.row(central);
+        t.row(tree);
+        t.row(reactive);
+        t.note("wall-clock; absolute numbers depend on the host, the");
+        t.note("ordering between protocols is the reproduction target");
+        t.print();
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    sim_regime_table(
+        "barrier: cycles per episode, bunched arrivals (compute ~200)",
+        /*skewed=*/false, args);
+    sim_regime_table(
+        "barrier: cycles per episode, straggler arrivals (straggle 30k)",
+        /*skewed=*/true, args);
+
+    {
+        stats::Table t("barrier: phase-shifting workload (bunched <-> "
+                       "straggler), elapsed kcycles at P=32");
+        t.header({"algorithm", "elapsed", "switches"});
+        const std::uint32_t phases = args.full ? 8 : 4;
+        const std::uint32_t eps = args.full ? 60 : 30;
+        t.row({"central (counter)",
+               stats::fmt(apps::run_barrier_phases<CentralSim>(
+                              32, phases, eps, 30000, 200, args.seed) /
+                              1000.0,
+                          0),
+               "-"});
+        t.row({"tree (fan-in 4)",
+               stats::fmt(apps::run_barrier_phases<TreeSim>(
+                              32, phases, eps, 30000, 200, args.seed) /
+                              1000.0,
+                          0),
+               "-"});
+        auto reactive = std::make_shared<ReactiveBarrierSim>(32);
+        t.row({"reactive",
+               stats::fmt(apps::run_barrier_phases<ReactiveBarrierSim>(
+                              32, phases, eps, 30000, 200, args.seed,
+                              reactive) /
+                              1000.0,
+                          0),
+               std::to_string(reactive->protocol_changes())});
+        t.note("the reactive barrier re-converges each phase; neither");
+        t.note("static protocol is right for both regimes");
+        t.print();
+    }
+
+    native_table(args.full);
+    return 0;
+}

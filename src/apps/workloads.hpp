@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "barrier/barrier_concepts.hpp"
 #include "fetchop/fetchop_concepts.hpp"
 #include "locks/lock_concepts.hpp"
 #include "platform/prng.hpp"
@@ -359,6 +360,127 @@ std::uint64_t run_rw_phases(std::uint32_t procs, std::uint32_t phases,
                 arrived->fetch_add(1);
                 while (static_cast<std::uint32_t>(arrived->load()) < target)
                     sim::delay(50 + sim::random_below(50));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+// ---- barrier workloads (src/barrier/) ---------------------------------
+
+/**
+ * Uniform-arrival barrier kernel: `episodes` rounds of compute + arrive
+ * per processor, with per-episode compute drawn uniformly from
+ * [0, 2*compute). Small compute windows bunch the arrivals — the
+ * central counter serializes them and the combining tree wins; this is
+ * the barrier analogue of the high-contention end of the spin-lock
+ * sweep.
+ *
+ * @tparam B Barrier implementation (the quantity under study).
+ * @param barrier optional pre-built barrier (for post-run inspection of
+ *        reactive state); constructed internally when null. Must be
+ *        fresh: barrier Nodes are bound to their barrier for life (they
+ *        carry the episode sense), and each run creates its own, so a
+ *        barrier cannot be carried across runs the way a lock can.
+ * @return simulated elapsed cycles.
+ */
+template <Barrier B>
+std::uint64_t run_barrier_uniform(std::uint32_t procs, std::uint32_t episodes,
+                                  std::uint32_t compute = 400,
+                                  std::uint64_t seed = 1,
+                                  std::shared_ptr<B> barrier = nullptr)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
+    auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename B::Node& n = (*nodes)[p];
+            for (std::uint32_t e = 0; e < episodes; ++e) {
+                if (compute > 0)
+                    sim::delay(sim::random_below(2 * compute));
+                bar->arrive(n);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Straggler-arrival barrier kernel (load imbalance): processor 0
+ * computes `straggle` extra cycles every episode while the rest arrive
+ * almost together and wait. The episode's critical path is the
+ * straggler's solo pass through the protocol — everyone else's arrival
+ * cost and the wakeup fan-out are absorbed into the next straggle
+ * window — so the cheapest protocol is the one with the smallest solo
+ * critical path: one RMW + one flip for the centralized counter versus
+ * a full climb for the tree. This is the skewed regime of the reactive
+ * barrier's arrival-spread signal. (A *rotating* straggler is a
+ * different regime: there the previous episode's wakeup latency lands
+ * on the next straggler's critical path, which punishes the central
+ * sense line's O(P) refill storm; the correctness tests cover it.)
+ */
+template <Barrier B>
+std::uint64_t run_barrier_straggler(std::uint32_t procs,
+                                    std::uint32_t episodes,
+                                    std::uint32_t straggle = 30000,
+                                    std::uint32_t compute = 200,
+                                    std::uint64_t seed = 1,
+                                    std::shared_ptr<B> barrier = nullptr)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
+    auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename B::Node& n = (*nodes)[p];
+            for (std::uint32_t e = 0; e < episodes; ++e) {
+                sim::delay(sim::random_below(compute + 1));
+                if (p == 0)
+                    sim::delay(straggle);  // the imbalanced participant
+                bar->arrive(n);
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+/**
+ * Phase-shifting barrier kernel: `phases` alternating blocks of
+ * `episodes_per_phase` bunched-arrival episodes (tree territory) and
+ * straggler episodes (central territory). Neither static protocol is
+ * right for both regimes; a reactive barrier must detect each phase
+ * change from the arrival-spread signal alone and re-converge — the
+ * barrier analogue of the time-varying contention experiment
+ * (Section 3.7.2).
+ */
+template <Barrier B>
+std::uint64_t run_barrier_phases(std::uint32_t procs, std::uint32_t phases,
+                                 std::uint32_t episodes_per_phase,
+                                 std::uint32_t straggle = 30000,
+                                 std::uint32_t compute = 200,
+                                 std::uint64_t seed = 1,
+                                 std::shared_ptr<B> barrier = nullptr)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
+    auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename B::Node& n = (*nodes)[p];
+            for (std::uint32_t ph = 0; ph < phases; ++ph) {
+                const bool skewed_phase = ph % 2 == 1;
+                for (std::uint32_t e = 0; e < episodes_per_phase; ++e) {
+                    sim::delay(sim::random_below(compute + 1));
+                    if (skewed_phase && p == 0)
+                        sim::delay(straggle);
+                    bar->arrive(n);
+                }
+                // The barrier itself separates the phases: every
+                // processor changes regime on the same episode.
             }
         });
     }

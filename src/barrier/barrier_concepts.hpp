@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Concepts shared by all barrier protocols.
+ *
+ * Mirrors rw/rw_concepts.hpp: every barrier uses the node-passing
+ * interface so tree-based protocols (which need per-participant state
+ * and a climb path) and centralized protocols (which need only a local
+ * sense) are interchangeable in tests, benchmarks, and the reactive
+ * dispatcher.
+ *
+ * Unlike a lock node, a barrier Node is *persistent*: it carries the
+ * participant's sense (and, for tree protocols, its leaf identity)
+ * across episodes, so each participant allocates one Node for the
+ * lifetime of the barrier and passes the same Node to every arrive().
+ * The participant set is fixed at construction; every participant must
+ * arrive in every episode.
+ */
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace reactive {
+
+// clang-format off
+/// A rendezvous barrier for a fixed participant count. arrive() returns
+/// once all participants of the current episode have arrived; Nodes are
+/// reused across episodes (they hold the participant's reversing sense).
+template <typename B>
+concept Barrier = requires(B b, typename B::Node n) {
+    typename B::Node;
+    { b.arrive(n) } -> std::same_as<void>;
+    { b.participants() } -> std::same_as<std::uint32_t>;
+};
+// clang-format on
+
+}  // namespace reactive

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Centralized sense-reversing barrier (the spin-only sibling of
+ * waiting/sync/barrier.hpp, decomposed for the reactive dispatcher).
+ *
+ * Arrivals decrement one shared counter; the last arrival resets the
+ * counter and flips a shared sense word that all waiters poll. The
+ * protocol is optimal at low participant counts and at skewed arrivals:
+ * an arrival is a single fetch&sub, and a straggler's critical path is
+ * one RMW plus one store. Under bunched arrivals at high participant
+ * counts both ends collapse — P decrements serialize at the counter's
+ * home directory, and the release pays one sequential invalidation plus
+ * one refill per waiter on the sense line — which is the regime the
+ * combining-tree protocol (combining_tree_barrier.hpp) exists for.
+ *
+ * Reactive hooks: arrival is decomposed into arrive_only() /
+ * wait_episode() / release_episode() so the reactive barrier can
+ * interpose its consensus step between detecting the last arrival and
+ * releasing the episode. The protocol also records (opt-in, so the
+ * standalone barrier pays nothing) the two contention signals the
+ * reactive policy samples: each episode's first arrival deposits a
+ * timestamp before its counter decrement (a CAS paid only by the
+ * arrivals racing to be first; the decrement's release/acquire chain
+ * then publishes it to the completer), and each arrival measures its
+ * own counter-RMW latency, which under bunched arrivals includes the
+ * directory queueing delay.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "barrier/barrier_concepts.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/**
+ * Centralized sense-reversing spin barrier.
+ *
+ * @tparam P Platform model.
+ */
+template <Platform P>
+class CentralBarrier {
+  public:
+    /// Per-participant state; reuse the same Node across episodes.
+    struct Node {
+        std::uint32_t sense = 1;
+    };
+
+    /// Outcome of one arrival (the reactive dispatcher's view).
+    struct Arrival {
+        bool last = false;             ///< this arrival completed the episode
+        std::uint32_t episode_sense;   ///< sense value of this episode
+        std::uint64_t arrive_cycles;   ///< latency of the counter RMW (the
+                                       ///< per-episode contention observation)
+    };
+
+    /**
+     * @param participants         fixed episode size.
+     * @param track_first_arrival  stamp each episode's first arrival
+     *                             for the reactive policy (adds one
+     *                             store per episode).
+     */
+    explicit CentralBarrier(std::uint32_t participants,
+                            bool track_first_arrival = false)
+        : participants_(participants), track_(track_first_arrival)
+    {
+        count_.store(participants, std::memory_order_relaxed);
+        first_stamp_.store(0, std::memory_order_relaxed);
+        sense_->store(0, std::memory_order_relaxed);
+    }
+
+    // ---- plain blocking interface (Barrier concept) ------------------
+
+    void arrive(Node& n)
+    {
+        const Arrival a = arrive_only(n);
+        if (a.last)
+            release_episode(a.episode_sense);
+        else
+            wait_episode(a.episode_sense);
+    }
+
+    std::uint32_t participants() const { return participants_; }
+
+    // ---- decomposed primitives (reactive dispatcher) -----------------
+
+    /// Signals this participant's arrival (flips the node's sense).
+    /// Returns whether it was the last arrival of the episode; if so the
+    /// caller holds the episode consensus and must eventually call
+    /// release_episode() with the returned sense.
+    Arrival arrive_only(Node& n)
+    {
+        Arrival a;
+        a.episode_sense = n.sense;
+        n.sense ^= 1u;
+        const std::uint64_t t0 = P::now();
+        if (track_ && first_stamp_.load(std::memory_order_relaxed) == 0) {
+            // Unstamped episode: try to be its first arrival (|1 keeps
+            // a cycle-0 stamp distinguishable from "unstamped"). The
+            // CAS is sequenced *before* our fetch_sub, so the counter's
+            // release/acquire RMW chain publishes the stamp to the
+            // completer — depositing after the decrement would leave
+            // the completer free to read a stale stamp on weakly
+            // ordered hardware. Only arrivals that race the very first
+            // one pay the CAS; the rest see a nonzero stamp and skip.
+            std::uint64_t expected = 0;
+            (void)first_stamp_.compare_exchange_strong(
+                expected, t0 | 1, std::memory_order_relaxed,
+                std::memory_order_relaxed);
+        }
+        const std::uint32_t prev =
+            count_.fetch_sub(1, std::memory_order_acq_rel);
+        a.arrive_cycles = P::now() - t0;
+        a.last = prev == 1;
+        return a;
+    }
+
+    /// Spins until the episode with sense @p episode_sense is released.
+    void wait_episode(std::uint32_t episode_sense)
+    {
+        while (sense_->load(std::memory_order_acquire) != episode_sense)
+            P::pause();
+    }
+
+    /// Completes the episode: resets the counter for the next episode
+    /// and flips the shared sense, releasing all waiters. Only the last
+    /// arriver may call this, after any in-consensus work.
+    void release_episode(std::uint32_t episode_sense)
+    {
+        if (track_)
+            first_stamp_.store(0, std::memory_order_relaxed);
+        count_.store(participants_, std::memory_order_relaxed);
+        sense_->store(episode_sense, std::memory_order_release);
+    }
+
+    /// Cycle stamp of this episode's first arrival (tracked mode). In-
+    /// consensus callers (the last arriver, before release_episode)
+    /// only; release_episode re-arms it for the next episode.
+    std::uint64_t episode_first_arrival() const
+    {
+        return first_stamp_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const std::uint32_t participants_;
+    const bool track_;
+    // Counter and stamp share the arrivals' line; the sense word, which
+    // waiters poll, lives on its own mostly-read line (Section 3.2.6).
+    typename P::template Atomic<std::uint32_t> count_{0};
+    typename P::template Atomic<std::uint64_t> first_stamp_{0};
+    CacheAligned<typename P::template Atomic<std::uint32_t>> sense_;
+};
+
+}  // namespace reactive

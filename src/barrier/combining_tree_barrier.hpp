@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Combining-tree barrier: fan-in-k arrival tree with sense-reversing
+ * wakeup propagated down the arrival paths (the scalable half of the
+ * reactive barrier, in the lineage of Mellor-Crummey & Scott's tree
+ * barrier and the thesis' combining tree, Section 3.1.2).
+ *
+ * Arrival: participants are assigned to leaves k at a time; each node
+ * counts its arrivals down, and the last arrival at a node proceeds to
+ * the parent, so exactly one process reaches the root with the episode
+ * complete. Every contended line is shared by at most k processes, so
+ * arrivals that would serialize at a central counter proceed in
+ * parallel across subtrees.
+ *
+ * Wakeup: each non-last arrival waits on the sense word of the node
+ * where it stopped. The process that climbed past a node is the unique
+ * process responsible for flipping that node's sense; on release it
+ * flips the nodes of its own climb path (highest first) and every woken
+ * waiter does the same for its path, so the wakeup fans out in
+ * O(log_k P) steps instead of one O(P) invalidation + refill storm on a
+ * central sense line.
+ *
+ * Episode recycling: the last arrival at a node resets the node's
+ * counter (and stamp) *before* climbing. This is safe because none of
+ * the node's other arrivals can start the next episode until the
+ * current one is released, which happens strictly after the climb; the
+ * release/acquire cascade of sense flips then publishes the resets to
+ * every participant before its next arrival.
+ *
+ * Reactive hooks: the root completer is the barrier's natural consensus
+ * point. With `track_arrival_spread` enabled, arrivals piggyback a
+ * minimum-arrival-timestamp combine up the tree (one extra CAS per node
+ * visit, contended by at most k processes), so the completer learns the
+ * episode's first-arrival stamp without any global hot line — the
+ * signal the reactive barrier's switching policy samples.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "barrier/barrier_concepts.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/**
+ * Fan-in-k combining-tree barrier.
+ *
+ * @tparam P Platform model.
+ */
+template <Platform P>
+class CombiningTreeBarrier {
+    struct alignas(kCacheLineSize) TreeNode {
+        // Arrival state: touched by at most fan_in arrivals per episode.
+        typename P::template Atomic<std::uint32_t> count{0};
+        typename P::template Atomic<std::uint64_t> min_stamp{0};
+        std::uint32_t init_count = 0;
+        TreeNode* parent = nullptr;
+        // Wakeup state on its own line: waiters poll it while the next
+        // episode's arrivals already hammer the count word.
+        CacheAligned<typename P::template Atomic<std::uint32_t>> sense;
+    };
+
+  public:
+    /// Deepest possible tree (fan-in >= 2, 2^32 participants).
+    static constexpr std::uint32_t kMaxDepth = 32;
+
+    /**
+     * Per-participant state; reuse the same Node across episodes. The
+     * leaf identity is auto-assigned on first arrival, so a fixed set
+     * of `participants()` Nodes (one per participant, each arriving
+     * every episode) needs no manual numbering.
+     */
+    struct Node {
+        std::uint32_t id = 0;
+        bool assigned = false;
+        std::uint32_t sense = 1;
+        // Episode-local climb record (rebuilt by every arrival).
+        std::uint32_t depth = 0;
+        TreeNode* path[kMaxDepth] = {};
+        TreeNode* stop = nullptr;
+        // Episode signals, valid on the completer after arrive_only():
+        std::uint64_t first_arrival = 0;  ///< min arrival stamp (tracked mode)
+        std::uint64_t arrive_cycles = 0;  ///< this process' climb latency
+    };
+
+    /**
+     * @param participants         fixed episode size.
+     * @param fan_in               arrivals combined per tree node (>= 2).
+     * @param track_arrival_spread combine first-arrival stamps up the
+     *                             tree for the reactive policy (adds one
+     *                             CAS per node visit).
+     */
+    explicit CombiningTreeBarrier(std::uint32_t participants,
+                                  std::uint32_t fan_in = 4,
+                                  bool track_arrival_spread = false)
+        : participants_(participants),
+          fan_in_(fan_in < 2 ? 2 : fan_in),
+          track_(track_arrival_spread),
+          nodes_(total_nodes(participants, fan_in_))
+    {
+        const std::vector<std::uint32_t> sizes =
+            level_sizes(participants, fan_in_);
+        std::uint32_t off = 0;
+        for (std::size_t l = 0; l < sizes.size(); ++l) {
+            const std::uint32_t below =
+                l == 0 ? participants_ : sizes[l - 1];
+            const std::uint32_t parent_off = off + sizes[l];
+            for (std::uint32_t i = 0; i < sizes[l]; ++i) {
+                TreeNode& t = nodes_[off + i];
+                t.init_count =
+                    std::min(fan_in_, below - i * fan_in_);
+                t.count.store(t.init_count, std::memory_order_relaxed);
+                t.min_stamp.store(kNoStamp, std::memory_order_relaxed);
+                t.sense->store(0, std::memory_order_relaxed);
+                t.parent = l + 1 < sizes.size()
+                               ? &nodes_[parent_off + i / fan_in_]
+                               : nullptr;
+            }
+            off += sizes[l];
+        }
+    }
+
+    // ---- plain blocking interface (Barrier concept) ------------------
+
+    void arrive(Node& n)
+    {
+        if (arrive_only(n))
+            release_episode(n);
+        else
+            wait_episode(n);
+    }
+
+    std::uint32_t participants() const { return participants_; }
+
+    std::uint32_t fan_in() const { return fan_in_; }
+
+    // ---- decomposed primitives (reactive dispatcher) -----------------
+
+    /**
+     * Climbs the arrival tree, recycling each fully-arrived node for
+     * the next episode on the way. Returns true iff this process
+     * completed the episode at the root (it then holds the episode
+     * consensus and must eventually call release_episode()); otherwise
+     * the caller waits via wait_episode().
+     */
+    bool arrive_only(Node& n)
+    {
+        if (!n.assigned) {
+            n.id = next_id_.fetch_add(1, std::memory_order_relaxed) %
+                   participants_;
+            n.assigned = true;
+        }
+        n.sense ^= 1u;
+        n.depth = 0;
+        const std::uint64_t t0 = P::now();
+        std::uint64_t carry = t0;
+        TreeNode* t = &nodes_[n.id / fan_in_];
+        for (;;) {
+            if (track_)
+                deposit_min(t, carry);
+            const std::uint32_t prev =
+                t->count.fetch_sub(1, std::memory_order_acq_rel);
+            if (prev != 1) {
+                n.stop = t;
+                return false;
+            }
+            // Last arrival at this node: collect the combined stamp and
+            // recycle the node before climbing (see file comment).
+            if (track_) {
+                const std::uint64_t m =
+                    t->min_stamp.load(std::memory_order_relaxed);
+                carry = m < carry ? m : carry;
+                t->min_stamp.store(kNoStamp, std::memory_order_relaxed);
+            }
+            t->count.store(t->init_count, std::memory_order_relaxed);
+            assert(n.depth < kMaxDepth);
+            n.path[n.depth++] = t;
+            if (t->parent == nullptr) {
+                n.first_arrival = carry;
+                n.arrive_cycles = P::now() - t0;
+                return true;
+            }
+            t = t->parent;
+        }
+    }
+
+    /// Spins at the stop node, then propagates the wakeup down this
+    /// process' own climb path.
+    void wait_episode(Node& n)
+    {
+        const std::uint32_t my_sense = n.sense ^ 1u;
+        while (n.stop->sense->load(std::memory_order_acquire) != my_sense)
+            P::pause();
+        wake_path(n, my_sense);
+    }
+
+    /// Completes the episode: flips the senses along the completer's
+    /// climb path (root first), cascading the wakeup down the tree.
+    /// Only the root completer may call this, after any in-consensus
+    /// work.
+    void release_episode(Node& n) { wake_path(n, n.sense ^ 1u); }
+
+  private:
+    static constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+
+    static std::vector<std::uint32_t> level_sizes(std::uint32_t participants,
+                                                  std::uint32_t fan_in)
+    {
+        std::vector<std::uint32_t> sizes;
+        std::uint32_t sz = (participants + fan_in - 1) / fan_in;
+        sizes.push_back(sz < 1 ? 1 : sz);
+        while (sizes.back() > 1)
+            sizes.push_back((sizes.back() + fan_in - 1) / fan_in);
+        return sizes;
+    }
+
+    static std::uint32_t total_nodes(std::uint32_t participants,
+                                     std::uint32_t fan_in)
+    {
+        std::uint32_t total = 0;
+        for (std::uint32_t s : level_sizes(participants, fan_in))
+            total += s;
+        return total;
+    }
+
+    /// Folds @p stamp into the node's episode minimum.
+    static void deposit_min(TreeNode* t, std::uint64_t stamp)
+    {
+        std::uint64_t cur = t->min_stamp.load(std::memory_order_relaxed);
+        while (stamp < cur &&
+               !t->min_stamp.compare_exchange_weak(cur, stamp,
+                                                   std::memory_order_relaxed,
+                                                   std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Flips the senses of the nodes this process climbed past, highest
+    /// first so the largest waiting subtrees wake earliest.
+    void wake_path(Node& n, std::uint32_t my_sense)
+    {
+        for (std::uint32_t i = n.depth; i-- > 0;)
+            n.path[i]->sense->store(my_sense, std::memory_order_release);
+    }
+
+    const std::uint32_t participants_;
+    const std::uint32_t fan_in_;
+    const bool track_;
+    std::vector<TreeNode> nodes_;  ///< [leaves | level 1 | ... | root]
+    typename P::template Atomic<std::uint32_t> next_id_{0};
+};
+
+}  // namespace reactive

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The reactive barrier: dynamically selects between the centralized
+ * sense-reversing barrier (central_barrier.hpp, optimal at low
+ * participant counts and skewed arrivals) and the fan-in-k combining
+ * tree (combining_tree_barrier.hpp, optimal at high participant counts
+ * under bunched arrivals), reusing the switching policies of
+ * core/policy.hpp unmodified.
+ *
+ * This is the consensus-object construction of the reactive lock
+ * (thesis Sections 3.2.5-3.3.1) carried to a primitive with *no
+ * holder*: nobody owns a barrier the way a process owns a lock, so the
+ * lock subsystems' rule "protocol changes are made only by the lock
+ * holder" has no direct analogue. The barrier substitutes a different
+ * consensus point with a stronger property:
+ *
+ *  - **The last arriver of each episode is the in-consensus process.**
+ *    Both protocols elect exactly one such process per episode (the
+ *    arrival that takes the central counter to zero; the climber that
+ *    completes the root). Between that election and the release it
+ *    performs, *every other participant is provably quiescent*: each
+ *    has finished its arrival and cannot leave the episode's wait —
+ *    let alone start the next episode — until the release. The
+ *    completer therefore mutates policy state, the mode variable, and
+ *    either protocol's idle state entirely race-free, with no INVALID
+ *    sentinels, no retry dispatch, and no switch serialization beyond
+ *    the episode order itself (consecutive completers are ordered by
+ *    the release/acquire chain of the episodes between them).
+ *  - **The mode variable is exact, not a hint.** The switch is stored
+ *    before the release; every participant's next arrival happens
+ *    after acquiring that release, so all participants of an episode
+ *    execute the same protocol. This is *stronger* than the lock case
+ *    (where racing the mode hint is benign-but-possible) and is what
+ *    removes the need for the locks' invalid-protocol retry loops.
+ *    It also keeps each protocol's sense bookkeeping trivially
+ *    consistent: a participant's per-protocol sense flips exactly once
+ *    per episode executed on that protocol, uniformly across the
+ *    participant set.
+ *  - **Monitoring rides on arrival** (the analogue of Section 3.2.6):
+ *    the completer samples the episode's *arrival spread* — the cycle
+ *    gap between the first arrival (stamped for free by the protocols:
+ *    a single store in the central barrier, a min-combine up the tree)
+ *    and episode completion — plus its own arrival latency, which in
+ *    central mode measures queueing at the counter's home directory. A
+ *    small spread means the participants arrived together and the
+ *    central counter serialized them (the tree's regime); a spread of
+ *    many thousands of cycles means a straggler dominated and the tree
+ *    is pure overhead (the central regime).
+ *
+ * Policy reuse: a central-mode episode feeds `on_tts_acquire(bunched)`
+ * (the centralized protocol plays the TTS role) and a tree-mode episode
+ * feeds `on_queue_acquire(skewed)` (the scalable protocol plays the
+ * queue role), so AlwaysSwitch, Competitive3 and Hysteresis apply
+ * unmodified with an episode as the unit of observation.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "barrier/barrier_concepts.hpp"
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "core/policy.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/platform_concept.hpp"
+
+namespace reactive {
+
+/// Tunables for the reactive barrier's episode monitor.
+struct ReactiveBarrierParams {
+    /// Arrival fan-in of the tree protocol.
+    std::uint32_t fan_in = 4;
+    /// An episode whose arrival spread is below participants * this is
+    /// "bunched": the central counter would serialize the arrivals.
+    /// Sized to a directory-serialized RMW plus slack on the simulated
+    /// machine; on native hardware it is a TSC-cycle budget.
+    std::uint32_t bunched_cycles_per_arrival = 150;
+    /// An episode whose spread exceeds the bunched threshold times this
+    /// is "skewed": a straggler dominates and the tree buys nothing.
+    std::uint32_t skew_factor = 4;
+    /// A completer whose own counter RMW took this long observed
+    /// directory queueing directly (central mode's second signal).
+    std::uint32_t contended_rmw_cycles = 400;
+};
+
+/**
+ * Reactive barrier selecting between the centralized and combining-tree
+ * protocols between episodes.
+ *
+ * @tparam P      Platform model.
+ * @tparam Policy switching policy (Section 3.4); shared with the
+ *                reactive mutex/rwlock via the SwitchPolicy concept.
+ */
+template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+class ReactiveBarrier {
+  public:
+    /// Protocol executing the current episode (exact, not a hint).
+    enum class Mode : std::uint32_t { kCentral = 0, kTree = 1 };
+
+    /// Per-participant state; reuse the same Node across episodes.
+    struct Node {
+        typename CentralBarrier<P>::Node central;
+        typename CombiningTreeBarrier<P>::Node tree;
+    };
+
+    explicit ReactiveBarrier(std::uint32_t participants)
+        : ReactiveBarrier(participants, ReactiveBarrierParams{})
+    {
+    }
+
+    ReactiveBarrier(std::uint32_t participants, ReactiveBarrierParams params,
+                    Policy policy = Policy{})
+        : central_(participants, /*track_first_arrival=*/true),
+          tree_(participants, params.fan_in, /*track_arrival_spread=*/true),
+          participants_(participants),
+          params_(params),
+          policy_(policy)
+    {
+        // Initial protocol: central (the low-contention choice, as the
+        // reactive lock starts in TTS mode, Figure 3.27).
+        mode_->store(static_cast<std::uint32_t>(Mode::kCentral),
+                     std::memory_order_relaxed);
+    }
+
+    // ---- Barrier interface -------------------------------------------
+
+    void arrive(Node& n)
+    {
+        if (mode() == Mode::kCentral) {
+            const auto a = central_.arrive_only(n.central);
+            if (!a.last) {
+                central_.wait_episode(a.episode_sense);
+                return;
+            }
+            episode_consensus(Mode::kCentral,
+                              central_.episode_first_arrival(),
+                              a.arrive_cycles);
+            central_.release_episode(a.episode_sense);
+        } else {
+            if (!tree_.arrive_only(n.tree)) {
+                tree_.wait_episode(n.tree);
+                return;
+            }
+            episode_consensus(Mode::kTree, n.tree.first_arrival,
+                              n.tree.arrive_cycles);
+            tree_.release_episode(n.tree);
+        }
+    }
+
+    std::uint32_t participants() const { return participants_; }
+
+    // ---- monitoring (tests, experiments) -----------------------------
+
+    /// Protocol of the upcoming episode. Exact for participants (they
+    /// read it after acquiring the previous release); racy inspection
+    /// for everyone else.
+    Mode mode() const
+    {
+        return static_cast<Mode>(mode_->load(std::memory_order_relaxed));
+    }
+
+    /// Number of completed protocol changes. Race-free for any
+    /// *participant* between its own arrivals: no episode can complete
+    /// (and no completer can touch this) until that participant
+    /// arrives again. Racy inspection for non-participants.
+    std::uint64_t protocol_changes() const { return protocol_changes_; }
+
+    /// Policy state access (in-consensus callers only).
+    Policy& policy() { return policy_; }
+
+  private:
+    /**
+     * The completer's in-consensus step, run after its arrival and
+     * before the release: classify the episode, feed the policy, and
+     * perform any protocol change. Every other participant is waiting
+     * inside the current protocol, so everything here is race-free; the
+     * mode store is published by the release that follows.
+     */
+    void episode_consensus(Mode m, std::uint64_t first_arrival,
+                           std::uint64_t arrive_cycles)
+    {
+        if (participants_ < 2)
+            return;  // a 1-participant barrier has no contention axis
+        const std::uint64_t end = P::now();
+        const std::uint64_t spread =
+            end > first_arrival ? end - first_arrival : 0;
+        const std::uint64_t bunched_threshold =
+            static_cast<std::uint64_t>(params_.bunched_cycles_per_arrival) *
+            participants_;
+        bool switch_now;
+        if (m == Mode::kCentral) {
+            const bool bunched =
+                spread <= bunched_threshold ||
+                arrive_cycles >= params_.contended_rmw_cycles;
+            switch_now = policy_.on_tts_acquire(bunched);
+        } else {
+            const bool skewed =
+                spread >= bunched_threshold * params_.skew_factor;
+            switch_now = policy_.on_queue_acquire(skewed);
+        }
+        if (switch_now) {
+            const Mode next =
+                m == Mode::kCentral ? Mode::kTree : Mode::kCentral;
+            mode_->store(static_cast<std::uint32_t>(next),
+                         std::memory_order_relaxed);
+            ++protocol_changes_;
+            policy_.on_switch();
+        }
+    }
+
+    CentralBarrier<P> central_;
+    CombiningTreeBarrier<P> tree_;
+    const std::uint32_t participants_;
+
+    // The mode word is written once per protocol change and read once
+    // per arrival; it lives on its own mostly-read line (Section 3.2.6).
+    CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
+
+    ReactiveBarrierParams params_;
+    Policy policy_;                       // mutated in-consensus only
+    std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
+};
+
+}  // namespace reactive

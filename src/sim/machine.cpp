@@ -465,7 +465,14 @@ void SimWaitQueue::notify_all()
         m->charge(m->costs().wait_queue_op);
         return;
     }
-    while (!waiters_.empty()) {
+    // Wake only the waiters present at the notify instant (futex
+    // semantics). The reenable charges yield the fiber, so draining
+    // "until empty" would also wake threads of the *next* epoch that
+    // block while we drain — and with back-to-back waits (e.g. barrier
+    // episodes) those re-block faster than the drain empties, leaving
+    // the notifier reenabling forever.
+    std::size_t present = waiters_.size();
+    while (present-- > 0 && !waiters_.empty()) {
         m->charge(m->costs().thread_reenable);
         SimThread* t = waiters_.front();
         waiters_.pop_front();
