@@ -19,9 +19,16 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(REACTIVE_HAVE_PTHREAD_AFFINITY)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "core/policy.hpp"
 #include "core/reactive_fetch_op.hpp"
@@ -43,6 +50,8 @@ using sim::SimPlatform;
 /// Command-line knobs common to all harnesses.
 struct BenchArgs {
     bool full = false;       ///< larger, slower, smoother runs
+    bool smoke = false;      ///< tiny CI-sized runs (fig_calibration)
+    bool native = false;     ///< include native pinned-thread sections
     std::uint64_t seed = 1;
 
     static BenchArgs parse(int argc, char** argv)
@@ -51,11 +60,133 @@ struct BenchArgs {
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--full") == 0)
                 a.full = true;
+            else if (std::strcmp(argv[i], "--smoke") == 0)
+                a.smoke = true;
+            else if (std::strcmp(argv[i], "--native") == 0)
+                a.native = true;
             else if (std::strncmp(argv[i], "--seed=", 7) == 0)
                 a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
         }
         return a;
     }
+};
+
+// ---- CPU pinning (contended native tables) ----------------------------
+
+/**
+ * Pins the calling thread to CPU @p cpu (modulo the online CPU count),
+ * so contended native measurements see a fixed thread placement instead
+ * of whatever the scheduler migrates to mid-run. Returns false — and
+ * leaves placement to the scheduler — when the platform exposes no
+ * affinity interface (feature-checked at configure time).
+ */
+inline bool pin_current_thread(std::uint32_t cpu)
+{
+#if defined(REACTIVE_HAVE_PTHREAD_AFFINITY)
+    const unsigned hw = std::thread::hardware_concurrency();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(hw ? cpu % hw : cpu, &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+/**
+ * RAII pin for threads that outlive the measurement — saves the
+ * calling thread's affinity mask, pins, and restores on destruction.
+ * Needed wherever the pinned thread is borrowed (google-benchmark runs
+ * thread 0 on the process main thread; leaving it pinned would confine
+ * every subsequently registered benchmark to one CPU). Dedicated pool
+ * threads (contended_harness.hpp) die after their run and use the
+ * plain helper instead.
+ */
+class ScopedPin {
+  public:
+#if defined(REACTIVE_HAVE_PTHREAD_AFFINITY)
+    explicit ScopedPin(std::uint32_t cpu)
+    {
+        saved_ok_ = pthread_getaffinity_np(pthread_self(), sizeof(saved_),
+                                           &saved_) == 0;
+        pinned_ = pin_current_thread(cpu);
+    }
+    ~ScopedPin()
+    {
+        if (saved_ok_)
+            pthread_setaffinity_np(pthread_self(), sizeof(saved_), &saved_);
+    }
+#else
+    explicit ScopedPin(std::uint32_t) {}
+    ~ScopedPin() = default;
+#endif
+    ScopedPin(const ScopedPin&) = delete;
+    ScopedPin& operator=(const ScopedPin&) = delete;
+
+    bool pinned() const { return pinned_; }
+
+  private:
+#if defined(REACTIVE_HAVE_PTHREAD_AFFINITY)
+    cpu_set_t saved_{};
+    bool saved_ok_ = false;
+#endif
+    bool pinned_ = false;
+};
+
+// ---- machine-readable results -----------------------------------------
+
+/**
+ * Collects (bench, protocol, P, regime, cycles/op) records and writes
+ * them as a JSON array, so successive PRs can diff crossover tables
+ * mechanically instead of eyeballing stdout. One record per table cell;
+ * the schema is deliberately flat.
+ */
+class JsonRecords {
+  public:
+    void add(const std::string& bench, const std::string& protocol,
+             std::uint32_t procs, const std::string& regime,
+             double cycles_per_op)
+    {
+        Record r;
+        r.bench = bench;
+        r.protocol = protocol;
+        r.procs = procs;
+        r.regime = regime;
+        r.cycles_per_op = cycles_per_op;
+        records_.push_back(std::move(r));
+    }
+
+    /// Writes the array to @p path; returns false on I/O failure.
+    bool write(const std::string& path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "[\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record& r = records_[i];
+            out << "  {\"bench\": \"" << r.bench << "\", \"protocol\": \""
+                << r.protocol << "\", \"procs\": " << r.procs
+                << ", \"regime\": \"" << r.regime
+                << "\", \"cycles_per_op\": " << r.cycles_per_op << "}"
+                << (i + 1 < records_.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+        return static_cast<bool>(out);
+    }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    struct Record {
+        std::string bench;
+        std::string protocol;
+        std::uint32_t procs = 0;
+        std::string regime;
+        double cycles_per_op = 0;
+    };
+    std::vector<Record> records_;
 };
 
 /// Contention sweep used by the baseline figures.

@@ -8,6 +8,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/reactive_fetch_op.hpp"
 #include "core/reactive_lock.hpp"
 #include "core/reactive_mutex.hpp"
@@ -174,6 +175,14 @@ template <typename RW>
 void BM_RwMixed(benchmark::State& state)
 {
     static RW lock;
+    // Pin each benchmark thread so the contended numbers measure the
+    // protocols, not the scheduler's migrations (no-op where the
+    // platform has no affinity API). Scoped: thread 0 is the borrowed
+    // process main thread and must get its mask back, or every later
+    // benchmark in this binary would run confined to CPU 0. The
+    // fixed-pool contended tables live in fig_calibration --native.
+    reactive::bench::ScopedPin pin(
+        static_cast<std::uint32_t>(state.thread_index()));
     const std::uint64_t read_permille =
         static_cast<std::uint64_t>(state.range(0));
     // Per-thread deterministic LCG: threads must not share PRNG state

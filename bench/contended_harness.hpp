@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fixed-thread-pool contended benchmark harness for the native
+ * platform.
+ *
+ * google-benchmark's threaded mode re-creates its worker threads every
+ * timing interval and leaves their placement to the scheduler, which
+ * makes contended crossover measurements drift run to run (the ROADMAP
+ * pinning item). This harness does the opposite, on purpose:
+ *
+ *  - one **fixed pool** of worker threads per measurement, created
+ *    once, optionally **pinned** round-robin to CPUs
+ *    (`pin_current_thread`, feature-checked), all released by a single
+ *    start gate so the measured window contains only the contended
+ *    steady state;
+ *  - cycles measured with `tsc_now()` from gate-open to the *last*
+ *    worker's completion stamp (the TSC is constant-rate and
+ *    socket-synchronized on every machine this targets; off x86 the
+ *    coarse timebase in platform/cpu.hpp keeps the ratios sound);
+ *  - per-thread worker state built *before* the gate via a maker
+ *    functor, so protocols whose per-participant nodes carry state
+ *    across operations (sense-reversing barriers, queue nodes) measure
+ *    their steady state rather than their setup.
+ *
+ * The harness is deliberately small: a measurement is
+ * `contended_run(opts, make_worker)` where `make_worker(t)` returns the
+ * callable executed `iters_per_thread` times by thread `t`.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/cpu.hpp"
+
+namespace reactive::bench {
+
+/// Knobs for one fixed-pool contended measurement.
+struct ContendedOptions {
+    std::uint32_t threads = 2;
+    std::uint64_t iters_per_thread = 10000;
+    bool pin = true;  ///< round-robin pin workers to CPUs
+    /// Incremented per worker whose pin attempt failed (restricted
+    /// cpusets, no affinity API) so callers can annotate results that
+    /// are actually scheduler-placed instead of silently reporting
+    /// them as pinned.
+    std::atomic<std::uint32_t>* pin_failures = nullptr;
+};
+
+/**
+ * Runs `make_worker(t)()` for `iters_per_thread` iterations on each of
+ * `threads` pinned pool threads and returns the elapsed TSC cycles from
+ * gate-open to the last worker's finish.
+ */
+template <typename MakeWorker>
+std::uint64_t contended_run(const ContendedOptions& opt,
+                            MakeWorker&& make_worker)
+{
+    std::atomic<std::uint32_t> ready{0};
+    std::atomic<std::uint32_t> go{0};
+    std::vector<CacheAligned<std::uint64_t>> finish(opt.threads);
+    std::vector<std::thread> pool;
+    pool.reserve(opt.threads);
+    for (std::uint32_t t = 0; t < opt.threads; ++t) {
+        pool.emplace_back([&, t] {
+            if (opt.pin && !pin_current_thread(t) &&
+                opt.pin_failures != nullptr)
+                opt.pin_failures->fetch_add(1, std::memory_order_relaxed);
+            auto worker = make_worker(t);
+            ready.fetch_add(1, std::memory_order_release);
+            while (go.load(std::memory_order_acquire) == 0)
+                cpu_relax();
+            for (std::uint64_t i = 0; i < opt.iters_per_thread; ++i)
+                worker();
+            finish[t].value = tsc_now();
+        });
+    }
+    while (ready.load(std::memory_order_acquire) < opt.threads)
+        std::this_thread::yield();
+    const std::uint64_t start = tsc_now();
+    go.store(1, std::memory_order_release);
+    for (auto& th : pool)
+        th.join();
+    std::uint64_t last = start;
+    for (const auto& f : finish)
+        if (f.value > last)
+            last = f.value;
+    return last - start;
+}
+
+/**
+ * Contended lock measurement: every thread loops
+ * {acquire; tiny critical section; release} on one shared lock.
+ * Returns cycles per critical section (total cycles / total ops).
+ */
+template <typename L>
+double contended_lock_cycles_per_op(L& lock, const ContendedOptions& opt)
+{
+    std::atomic<std::uint64_t> sink{0};
+    const std::uint64_t elapsed = contended_run(opt, [&](std::uint32_t) {
+        return [&] {
+            typename L::Node node;
+            lock.lock(node);
+            sink.store(sink.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);  // the critical section
+            lock.unlock(node);
+        };
+    });
+    return static_cast<double>(elapsed) /
+           (static_cast<double>(opt.threads) * opt.iters_per_thread);
+}
+
+/**
+ * Contended barrier measurement: `opt.threads` participants run
+ * `iters_per_thread` episodes; thread 0 optionally burns
+ * `straggle_cycles` before each arrival (the fixed-imbalance straggler
+ * regime of fig_barrier). Returns cycles per episode.
+ */
+template <typename B>
+double contended_barrier_cycles_per_episode(B& bar,
+                                            const ContendedOptions& opt,
+                                            std::uint64_t straggle_cycles = 0)
+{
+    // Nodes must outlive the episode loop and carry per-participant
+    // sense state across episodes; build them in the maker (pre-gate).
+    std::vector<std::unique_ptr<typename B::Node>> nodes(opt.threads);
+    const std::uint64_t elapsed =
+        contended_run(opt, [&](std::uint32_t t) {
+            nodes[t] = std::make_unique<typename B::Node>();
+            typename B::Node* n = nodes[t].get();
+            return [&bar, n, t, straggle_cycles] {
+                if (straggle_cycles > 0 && t == 0)
+                    spin_for_cycles(straggle_cycles);
+                bar.arrive(*n);
+            };
+        });
+    return static_cast<double>(elapsed) /
+           static_cast<double>(opt.iters_per_thread);
+}
+
+}  // namespace reactive::bench

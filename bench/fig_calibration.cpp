@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Calibration figure (new in this reproduction): crossover tables for
+ * static-constant vs. runtime-calibrated switch policies.
+ *
+ * The question under test: the 3-competitive policy is only as good as
+ * its cost constants, so what happens when they are wrong — and does
+ * the runtime cost-calibration layer (core/cost_model.hpp) recover?
+ * Each table sweeps processor count under a fixed contention regime and
+ * compares
+ *
+ *   - the two static protocols (the per-column best is "ideal"),
+ *   - the reactive lock with the thesis' hand-measured constants,
+ *   - the reactive lock with *mis-tuned* static constants (switch
+ *     round trip 10x over / 10x under — the reluctant and
+ *     trigger-happy failure modes),
+ *   - the calibrated policy seeded with the same wrong constants in
+ *     both directions (plus harsher residual mis-seeds).
+ *
+ * Expected shape: the mis-tuned static rows pay for their constants
+ * (the reluctant one sticks with the losing protocol; the eager one
+ * oscillates), while every calibrated row converges to the measured
+ * costs and lands within a few percent of ideal at every point — the
+ * "self-tuning beats re-measuring constants by hand" claim. A PASS/
+ * FAIL summary checks the 10%-of-ideal and never-worse-than-mis-tuned
+ * envelopes; all cells are also appended to BENCH_calibration.json so
+ * future PRs can diff crossovers mechanically.
+ *
+ * A second pair of tables repeats the experiment for the reactive
+ * barrier (bunched vs. straggler arrivals, calibrated episode-spread
+ * thresholds), a third for the reactive rwlock's write-heavy mix, and
+ * `--native` adds pinned fixed-thread-pool tables on real hardware
+ * (bench/contended_harness.hpp). `--smoke` runs a tiny sim subset for
+ * CI.
+ */
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <type_traits>
+
+#include "apps/workloads.hpp"
+#include "barrier/central_barrier.hpp"
+#include "barrier/combining_tree_barrier.hpp"
+#include "barrier/reactive_barrier.hpp"
+#include "bench_common.hpp"
+#include "contended_harness.hpp"
+#include "core/cost_model.hpp"
+#include "platform/native_platform.hpp"
+#include "rw/reactive_rw_lock.hpp"
+#include "stats/table.hpp"
+
+using namespace reactive;
+using namespace reactive::bench;
+
+namespace {
+
+JsonRecords g_records;
+int g_failures = 0;
+
+// ---- policy seeds under test ------------------------------------------
+
+// Mis-tuning presets shared with tests/test_cost_model.cpp via
+// CostEstimator::Params, so the test envelope validates exactly the
+// configurations these tables measure.
+CostEstimator::Params reluctant_seeds()
+{
+    return CostEstimator::Params::mis_tuned_reluctant();
+}
+
+CostEstimator::Params eager_seeds()
+{
+    return CostEstimator::Params::mis_tuned_eager();
+}
+
+CalibratedCompetitive3Policy::Params calibrated_params(
+    CostEstimator::Params seeds)
+{
+    CalibratedCompetitive3Policy::Params p;
+    p.costs = seeds;
+    return p;
+}
+
+Competitive3Policy::Params static_params(std::uint32_t round_trip)
+{
+    Competitive3Policy::Params p;
+    p.switch_round_trip = round_trip;
+    return p;
+}
+
+// ---- spin-lock section ------------------------------------------------
+
+using ReactiveC3 = ReactiveNodeLock<sim::SimPlatform, Competitive3Policy>;
+using ReactiveCal =
+    ReactiveNodeLock<sim::SimPlatform, CalibratedCompetitive3Policy>;
+
+/// Simulated cycles per critical section for the lock built by @p mk;
+/// the kernel itself is apps::run_lock_cycle (shared with the test
+/// envelope so both measure the same experiment).
+template <typename MakeLock>
+double lock_cycles_per_op(std::uint32_t procs, std::uint32_t iters,
+                          std::uint32_t think, std::uint64_t seed,
+                          MakeLock&& mk)
+{
+    auto lock = mk();
+    using L = typename std::decay_t<decltype(*lock)>;
+    const std::uint64_t elapsed = apps::run_lock_cycle<L>(
+        procs, iters, /*cs=*/100, think, seed, std::move(lock));
+    return static_cast<double>(elapsed) /
+           (static_cast<double>(procs) * iters);
+}
+
+std::vector<std::uint32_t> calib_procs(const BenchArgs& a)
+{
+    if (a.smoke)
+        return {2, 8};
+    if (a.full)
+        return {2, 4, 8, 16, 32, 64};
+    return {2, 4, 8, 16, 32};
+}
+
+std::uint32_t calib_iters(std::uint32_t procs, const BenchArgs& a)
+{
+    if (a.smoke)
+        return 200;
+    const std::uint32_t scale = a.full ? 2 : 1;
+    if (procs <= 4)
+        return 3000 * scale;
+    if (procs <= 16)
+        return 1500 * scale;
+    return 800 * scale;
+}
+
+/// Envelope checks for one table column; records failures for the exit
+/// summary. The never-worse comparison carries a 5% epsilon: where the
+/// mis-tuned constants *happen* to encode the optimal behaviour (the
+/// reluctant policy at a hot convoy, say), a bounded-regret adaptive
+/// policy necessarily trails it by its probing/convergence budget —
+/// the epsilon is that budget, and the 10%-of-ideal bound still binds
+/// unconditionally.
+bool g_check_enabled = true;
+
+void check_point(const std::string& bench, const std::string& regime,
+                 std::uint32_t procs, double ideal, double calibrated,
+                 double mistuned)
+{
+    if (!g_check_enabled)
+        return;
+    const bool within = calibrated <= 1.10 * ideal;
+    const bool never_worse = calibrated <= 1.05 * mistuned;
+    if (!within || !never_worse) {
+        ++g_failures;
+        std::cout << "  CHECK FAIL [" << bench << "/" << regime
+                  << " P=" << procs << "]: calibrated=" << stats::fmt(calibrated, 1)
+                  << " ideal=" << stats::fmt(ideal, 1)
+                  << " mistuned=" << stats::fmt(mistuned, 1) << "\n";
+    }
+}
+
+void lock_regime_table(const char* title, const char* regime,
+                       std::uint32_t think, const BenchArgs& args)
+{
+    const auto procs = calib_procs(args);
+    stats::Table t(title);
+    std::vector<std::string> header{"policy"};
+    for (std::uint32_t p : procs)
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    const std::vector<std::string> names{
+        "tts (static)",         "mcs (static)",       "reactive tuned",
+        "reactive 10x-over",    "reactive 10x-under", "calibrated over-seed",
+        "calibrated under-seed"};
+    std::vector<std::vector<double>> rows(names.size());
+    for (std::uint32_t p : procs) {
+        const std::uint32_t iters = calib_iters(p, args);
+        const std::uint64_t seed = args.seed;
+        rows[0].push_back(lock_cycles_per_op(
+            p, iters, think, seed, [] { return std::make_shared<TtsSim>(); }));
+        rows[1].push_back(lock_cycles_per_op(
+            p, iters, think, seed, [] { return std::make_shared<McsSim>(); }));
+        rows[2].push_back(lock_cycles_per_op(p, iters, think, seed, [] {
+            return std::make_shared<ReactiveC3>(ReactiveLockParams{},
+                                                Competitive3Policy{});
+        }));
+        rows[3].push_back(lock_cycles_per_op(p, iters, think, seed, [] {
+            return std::make_shared<ReactiveC3>(
+                ReactiveLockParams{},
+                Competitive3Policy(static_params(88000)));
+        }));
+        rows[4].push_back(lock_cycles_per_op(p, iters, think, seed, [] {
+            return std::make_shared<ReactiveC3>(
+                ReactiveLockParams{}, Competitive3Policy(static_params(880)));
+        }));
+        rows[5].push_back(lock_cycles_per_op(p, iters, think, seed, [] {
+            return std::make_shared<ReactiveCal>(
+                ReactiveLockParams{},
+                CalibratedCompetitive3Policy(
+                    calibrated_params(reluctant_seeds())));
+        }));
+        rows[6].push_back(lock_cycles_per_op(p, iters, think, seed, [] {
+            return std::make_shared<ReactiveCal>(
+                ReactiveLockParams{},
+                CalibratedCompetitive3Policy(calibrated_params(eager_seeds())));
+        }));
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (double v : rows[i])
+            cells.push_back(stats::fmt(v, 0));
+        t.row(cells);
+    }
+    std::vector<std::string> ideal_row{"ideal (best static)"};
+    for (std::size_t c = 0; c < procs.size(); ++c) {
+        const double ideal = std::min(rows[0][c], rows[1][c]);
+        ideal_row.push_back(stats::fmt(ideal, 0));
+        for (std::size_t i = 0; i < names.size(); ++i)
+            g_records.add("spinlock", names[i], procs[c], regime, rows[i][c]);
+        g_records.add("spinlock", "ideal", procs[c], regime, ideal);
+        // Calibrated-over recovers from the reluctant mis-tuning (row
+        // 3), calibrated-under from the trigger-happy one (row 4).
+        check_point("spinlock", regime, procs[c], ideal, rows[5][c],
+                    rows[3][c]);
+        check_point("spinlock", regime, procs[c], ideal, rows[6][c],
+                    rows[4][c]);
+    }
+    t.row(ideal_row);
+    t.note("cycles per critical section (100-cycle section included);");
+    t.note("mis-tuned rows pay for wrong constants, calibrated rows");
+    t.note("measure their way back from the same wrong seeds");
+    t.print();
+}
+
+// ---- barrier section --------------------------------------------------
+
+using CentralSim = CentralBarrier<sim::SimPlatform>;
+using TreeSim = CombiningTreeBarrier<sim::SimPlatform>;
+using ReactiveBarSim = ReactiveBarrier<sim::SimPlatform, AlwaysSwitchPolicy>;
+using ReactiveBarCal =
+    ReactiveBarrier<sim::SimPlatform, CalibratedCompetitive3Policy>;
+
+/// Calibrated-barrier policy params: probe on an episode cadence (a
+/// barrier sees far fewer consensus events than a lock sees
+/// acquisitions).
+CalibratedCompetitive3Policy::Params barrier_policy_params(
+    CostEstimator::Params seeds)
+{
+    CalibratedCompetitive3Policy::Params p;
+    p.costs = seeds;
+    p.probe_period = 32;
+    // Two dormant episodes per probe: the first pays the switch
+    // disruption and is discarded by the policy, the second is the
+    // steady-state sample.
+    p.probe_len = 2;
+    return p;
+}
+
+ReactiveBarrierParams barrier_params_calibrated(std::uint32_t seed_scale_num,
+                                                std::uint32_t seed_scale_den)
+{
+    ReactiveBarrierParams p;
+    p.calibrate = true;
+    p.bunched_cycles_per_arrival =
+        p.bunched_cycles_per_arrival * seed_scale_num / seed_scale_den;
+    p.contended_rmw_cycles =
+        p.contended_rmw_cycles * seed_scale_num / seed_scale_den;
+    return p;
+}
+
+template <typename B>
+double barrier_cycles_per_episode(std::shared_ptr<B> bar, std::uint32_t procs,
+                                  std::uint32_t episodes, bool skewed,
+                                  std::uint64_t seed)
+{
+    const std::uint64_t elapsed =
+        skewed ? apps::run_barrier_straggler<B>(procs, episodes,
+                                                /*straggle=*/30000,
+                                                /*compute=*/200, seed, bar)
+               : apps::run_barrier_uniform<B>(procs, episodes, /*compute=*/200,
+                                              seed, bar);
+    return static_cast<double>(elapsed) / episodes;
+}
+
+void barrier_regime_table(const char* title, const char* regime, bool skewed,
+                          const BenchArgs& args)
+{
+    std::vector<std::uint32_t> procs =
+        args.smoke ? std::vector<std::uint32_t>{4, 8}
+                   : std::vector<std::uint32_t>{4, 8, 16, 32};
+    if (args.full)
+        procs.push_back(64);
+    stats::Table t(title);
+    std::vector<std::string> header{"policy"};
+    for (std::uint32_t p : procs)
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    const std::vector<std::string> names{
+        "central (static)", "tree (static)", "reactive static-thresholds",
+        "calibrated over-seed", "calibrated under-seed"};
+    std::vector<std::vector<double>> rows(names.size());
+    for (std::uint32_t p : procs) {
+        // Long enough that a 10x-wrong-seed convergence transient
+        // (tens of episodes) amortizes the way the lock cells'
+        // transients do over their thousands of acquisitions.
+        const std::uint32_t episodes =
+            args.smoke ? 40 : (args.full ? 1920 : 960);
+        rows[0].push_back(barrier_cycles_per_episode(
+            std::make_shared<CentralSim>(p), p, episodes, skewed, args.seed));
+        rows[1].push_back(barrier_cycles_per_episode(
+            std::make_shared<TreeSim>(p, 4), p, episodes, skewed, args.seed));
+        rows[2].push_back(barrier_cycles_per_episode(
+            std::make_shared<ReactiveBarSim>(p), p, episodes, skewed,
+            args.seed));
+        rows[3].push_back(barrier_cycles_per_episode(
+            std::make_shared<ReactiveBarCal>(
+                p, barrier_params_calibrated(10, 1),
+                CalibratedCompetitive3Policy(
+                    barrier_policy_params(reluctant_seeds()))),
+            p, episodes, skewed, args.seed));
+        rows[4].push_back(barrier_cycles_per_episode(
+            std::make_shared<ReactiveBarCal>(
+                p, barrier_params_calibrated(1, 10),
+                CalibratedCompetitive3Policy(
+                    barrier_policy_params(eager_seeds()))),
+            p, episodes, skewed, args.seed));
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (double v : rows[i])
+            cells.push_back(stats::fmt(v, 0));
+        t.row(cells);
+    }
+    std::vector<std::string> ideal_row{"ideal (best static)"};
+    for (std::size_t c = 0; c < procs.size(); ++c) {
+        const double ideal = std::min(rows[0][c], rows[1][c]);
+        ideal_row.push_back(stats::fmt(ideal, 0));
+        for (std::size_t i = 0; i < names.size(); ++i)
+            g_records.add("barrier", names[i], procs[c], regime, rows[i][c]);
+        g_records.add("barrier", "ideal", procs[c], regime, ideal);
+        // The adaptive baseline is the reactive barrier itself: its gap
+        // to ideal is the monitoring cost (the price of adaptivity,
+        // see fig_barrier); calibration from 10x-wrong seeds must stay
+        // within 10% of the static-threshold reactive barrier.
+        for (const std::size_t cal : {std::size_t{3}, std::size_t{4}}) {
+            if (g_check_enabled && rows[cal][c] > 1.10 * rows[2][c]) {
+                ++g_failures;
+                std::cout << "  CHECK FAIL [barrier/" << regime
+                          << " P=" << procs[c] << "]: " << names[cal] << "="
+                          << stats::fmt(rows[cal][c], 1)
+                          << " static-thresholds="
+                          << stats::fmt(rows[2][c], 1) << "\n";
+            }
+        }
+    }
+    t.row(ideal_row);
+    t.note("cycles per episode; calibrated rows start from 10x wrong");
+    t.note("threshold and cost seeds and re-derive both from measured");
+    t.note("episode spreads and counter-RMW latencies");
+    t.print();
+}
+
+// ---- rwlock section ---------------------------------------------------
+
+struct CalRwOver : ReactiveRwLock<sim::SimPlatform, CalibratedCompetitive3Policy> {
+    CalRwOver()
+        : ReactiveRwLock(ReactiveRwLockParams{},
+                         CalibratedCompetitive3Policy(
+                             calibrated_params(reluctant_seeds())))
+    {
+    }
+};
+
+struct CalRwUnder
+    : ReactiveRwLock<sim::SimPlatform, CalibratedCompetitive3Policy> {
+    CalRwUnder()
+        : ReactiveRwLock(ReactiveRwLockParams{},
+                         CalibratedCompetitive3Policy(
+                             calibrated_params(eager_seeds())))
+    {
+    }
+};
+
+void rw_table(const BenchArgs& args)
+{
+    using SimpleRw = SimpleRwLock<sim::SimPlatform>;
+    using QueueRw = QueueRwLock<sim::SimPlatform>;
+    using ReactiveRw = ReactiveRwLock<sim::SimPlatform, Competitive3Policy>;
+
+    std::vector<std::uint32_t> procs =
+        args.smoke ? std::vector<std::uint32_t>{8}
+                   : std::vector<std::uint32_t>{4, 8, 16, 32};
+    const std::uint32_t ops = args.smoke ? 200 : (args.full ? 2400 : 1200);
+
+    stats::Table t(
+        "rwlock: cycles per op, write-heavy mix (25% reads, think 400)");
+    std::vector<std::string> header{"policy"};
+    for (std::uint32_t p : procs)
+        header.push_back("P=" + std::to_string(p));
+    t.header(header);
+
+    const std::vector<std::string> names{"simple (static)", "queue (static)",
+                                         "reactive tuned",
+                                         "calibrated over-seed",
+                                         "calibrated under-seed"};
+    std::vector<std::vector<double>> rows(names.size());
+    for (std::uint32_t p : procs) {
+        const auto run = [&](auto tag) {
+            using RW = typename decltype(tag)::type;
+            return static_cast<double>(
+                       apps::run_write_heavy<RW>(p, ops, args.seed)) /
+                   (static_cast<double>(p) * ops);
+        };
+        rows[0].push_back(run(std::type_identity<SimpleRw>{}));
+        rows[1].push_back(run(std::type_identity<QueueRw>{}));
+        rows[2].push_back(run(std::type_identity<ReactiveRw>{}));
+        rows[3].push_back(run(std::type_identity<CalRwOver>{}));
+        rows[4].push_back(run(std::type_identity<CalRwUnder>{}));
+        std::cerr << "." << std::flush;
+    }
+    std::cerr << "\n";
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (double v : rows[i])
+            cells.push_back(stats::fmt(v, 0));
+        t.row(cells);
+    }
+    std::vector<std::string> ideal_row{"ideal (best static)"};
+    for (std::size_t c = 0; c < procs.size(); ++c) {
+        const double ideal = std::min(rows[0][c], rows[1][c]);
+        ideal_row.push_back(stats::fmt(ideal, 0));
+        for (std::size_t i = 0; i < names.size(); ++i)
+            g_records.add("rwlock", names[i], procs[c], "write_heavy",
+                          rows[i][c]);
+        g_records.add("rwlock", "ideal", procs[c], "write_heavy", ideal);
+    }
+    t.row(ideal_row);
+    t.note("writer-side calibration only; readers never touch policy");
+    t.print();
+}
+
+// ---- native pinned section --------------------------------------------
+
+void native_tables(const BenchArgs& args)
+{
+    const std::uint32_t hw = std::thread::hardware_concurrency();
+    if (hw < 2) {
+        std::cout << "(native section skipped: single-core host)\n";
+        return;
+    }
+    std::atomic<std::uint32_t> pin_failures{0};
+    std::vector<std::uint32_t> counts;
+    for (std::uint32_t c : {2u, 4u, 8u, hw})
+        if (c <= hw && (counts.empty() || counts.back() != c))
+            counts.push_back(c);
+
+    using TtsNative = TtsLock<NativePlatform>;
+    using McsNative = McsLock<NativePlatform, McsVariant::kFetchStore>;
+    using ReactiveNative = ReactiveNodeLock<NativePlatform, Competitive3Policy>;
+    using CalibratedNative =
+        ReactiveNodeLock<NativePlatform, CalibratedCompetitive3Policy>;
+
+    {
+        stats::Table t("locks (native, pinned fixed pool): cycles per "
+                       "critical section, hot loop");
+        std::vector<std::string> header{"policy"};
+        for (std::uint32_t c : counts)
+            header.push_back("T=" + std::to_string(c));
+        t.header(header);
+        std::vector<std::string> names{"tts", "mcs", "reactive tuned",
+                                       "calibrated under-seed"};
+        std::vector<std::vector<double>> rows(names.size());
+        for (std::uint32_t c : counts) {
+            ContendedOptions opt;
+            opt.threads = c;
+            opt.iters_per_thread = args.full ? 200000 : 50000;
+            opt.pin_failures = &pin_failures;
+            TtsNative tts;
+            McsNative mcs;
+            ReactiveNative rea;
+            CalibratedNative cal(ReactiveLockParams{},
+                                 CalibratedCompetitive3Policy(
+                                     calibrated_params(eager_seeds())));
+            rows[0].push_back(contended_lock_cycles_per_op(tts, opt));
+            rows[1].push_back(contended_lock_cycles_per_op(mcs, opt));
+            rows[2].push_back(contended_lock_cycles_per_op(rea, opt));
+            rows[3].push_back(contended_lock_cycles_per_op(cal, opt));
+            std::cerr << "." << std::flush;
+        }
+        std::cerr << "\n";
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            std::vector<std::string> cells{names[i]};
+            for (std::size_t c = 0; c < counts.size(); ++c) {
+                cells.push_back(stats::fmt(rows[i][c], 0));
+                g_records.add("native_spinlock", names[i], counts[c], "hot",
+                              rows[i][c]);
+            }
+            t.row(cells);
+        }
+        t.note("TSC cycles; threads pinned round-robin "
+               "(pin_current_thread), one fixed pool per cell");
+        t.print();
+    }
+
+    for (const bool skewed : {false, true}) {
+        stats::Table t(skewed ? std::string("barrier (native, pinned fixed "
+                                            "pool): cycles per episode, "
+                                            "straggler")
+                              : std::string("barrier (native, pinned fixed "
+                                            "pool): cycles per episode, "
+                                            "bunched"));
+        std::vector<std::string> header{"policy"};
+        for (std::uint32_t c : counts)
+            header.push_back("T=" + std::to_string(c));
+        t.header(header);
+        const std::uint64_t straggle = skewed ? 200000 : 0;
+        std::vector<std::string> names{"central", "tree", "reactive",
+                                       "calibrated"};
+        std::vector<std::vector<double>> rows(names.size());
+        for (std::uint32_t c : counts) {
+            ContendedOptions opt;
+            opt.threads = c;
+            opt.iters_per_thread =
+                skewed ? (args.full ? 2000 : 500) : (args.full ? 20000 : 5000);
+            opt.pin_failures = &pin_failures;
+            CentralBarrier<NativePlatform> central(c);
+            CombiningTreeBarrier<NativePlatform> tree(c, 4);
+            ReactiveBarrier<NativePlatform> rea(c);
+            ReactiveBarrierParams cal_params;
+            cal_params.calibrate = true;
+            ReactiveBarrier<NativePlatform, CalibratedCompetitive3Policy> cal(
+                c, cal_params,
+                CalibratedCompetitive3Policy(
+                    barrier_policy_params(CostEstimator::Params{})));
+            rows[0].push_back(
+                contended_barrier_cycles_per_episode(central, opt, straggle));
+            rows[1].push_back(
+                contended_barrier_cycles_per_episode(tree, opt, straggle));
+            rows[2].push_back(
+                contended_barrier_cycles_per_episode(rea, opt, straggle));
+            rows[3].push_back(
+                contended_barrier_cycles_per_episode(cal, opt, straggle));
+            std::cerr << "." << std::flush;
+        }
+        std::cerr << "\n";
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            std::vector<std::string> cells{names[i]};
+            for (std::size_t c = 0; c < counts.size(); ++c) {
+                cells.push_back(stats::fmt(rows[i][c], 0));
+                g_records.add("native_barrier", names[i], counts[c],
+                              skewed ? "straggler" : "bunched", rows[i][c]);
+            }
+            t.row(cells);
+        }
+        t.note("TSC cycles; fixed pool + pinning replaces the");
+        t.note("scheduler-placed google-benchmark threads (ROADMAP item)");
+        t.print();
+    }
+    if (pin_failures.load() > 0)
+        std::cout << "WARNING: " << pin_failures.load()
+                  << " pin attempt(s) failed (restricted cpuset or no "
+                     "affinity API) — the native tables above are "
+                     "partially scheduler-placed, not pinned\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    // Smoke runs are sized for CI wall-clock, far below the policies'
+    // convergence horizon; their tables are exercise, not evidence.
+    g_check_enabled = !args.smoke;
+
+    lock_regime_table(
+        "spinlock: cycles per critical section, hot loop (no think time)",
+        "hot", /*think=*/0, args);
+    lock_regime_table(
+        "spinlock: cycles per critical section, think U[0,500)", "think500",
+        /*think=*/500, args);
+    if (!args.smoke)
+        lock_regime_table(
+            "spinlock: cycles per critical section, light load U[0,5000)",
+            "light", /*think=*/5000, args);
+
+    barrier_regime_table(
+        "barrier: cycles per episode, bunched arrivals (compute ~200)",
+        "bunched", /*skewed=*/false, args);
+    if (!args.smoke)
+        barrier_regime_table(
+            "barrier: cycles per episode, straggler arrivals (straggle 30k)",
+            "straggler", /*skewed=*/true, args);
+
+    rw_table(args);
+
+    if (args.native)
+        native_tables(args);
+
+    if (!g_records.write("BENCH_calibration.json")) {
+        std::cerr << "failed to write BENCH_calibration.json\n";
+        return 1;
+    }
+    std::cout << "\nwrote BENCH_calibration.json (" << g_records.size()
+              << " records)\n";
+    if (g_failures > 0) {
+        std::cout << g_failures << " envelope check(s) FAILED\n";
+        return 1;
+    }
+    std::cout << "all calibration envelope checks passed (calibrated within "
+                 "10% of best static, never worse than mis-tuned)\n";
+    return 0;
+}

@@ -250,6 +250,42 @@ std::uint64_t run_cholesky(std::uint32_t procs, std::uint32_t updates_per_proc,
     return m.elapsed();
 }
 
+/**
+ * Minimal lock-crossover kernel: each processor loops
+ * {lock; `cs`-cycle critical section; unlock; random think in
+ * [0, think)}. This is the single source of truth for the calibration
+ * figure's cells and their test-side envelope checks
+ * (bench/fig_calibration.cpp, tests/test_cost_model.cpp) — both must
+ * measure the same kernel or the acceptance test validates a
+ * different experiment than the figure reports. Pass a constructed
+ * lock to parameterize policies; inspect it after return.
+ *
+ * @return simulated elapsed cycles.
+ */
+template <typename L>
+std::uint64_t run_lock_cycle(std::uint32_t procs, std::uint32_t iters,
+                             std::uint32_t cs, std::uint32_t think,
+                             std::uint64_t seed = 1,
+                             std::shared_ptr<L> lock = nullptr)
+{
+    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    auto l = lock ? std::move(lock) : std::make_shared<L>();
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            typename L::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                l->lock(node);
+                sim::delay(cs);
+                l->unlock(node);
+                if (think > 0)
+                    sim::delay(sim::random_below(think));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
 // ---- reader-writer workloads (src/rw/) --------------------------------
 
 /**

@@ -52,6 +52,15 @@
  * feeds `on_queue_acquire(skewed)` (the scalable protocol plays the
  * queue role), so AlwaysSwitch, Competitive3 and Hysteresis apply
  * unmodified with an episode as the unit of observation.
+ *
+ * Calibration (core/cost_model.hpp): with `ReactiveBarrierParams::
+ * calibrate` the bunched/contended classification thresholds are
+ * re-derived each episode from the completer's measured counter-RMW
+ * latency (a decaying minimum tracking the uncontended cost) instead
+ * of compile-time cycle constants, and a calibrating policy receives
+ * each episode's spread as a cost sample — all computed by the
+ * completer from timestamps it already holds, so calibration adds no
+ * shared-memory traffic.
  */
 #pragma once
 
@@ -60,6 +69,7 @@
 #include "barrier/barrier_concepts.hpp"
 #include "barrier/central_barrier.hpp"
 #include "barrier/combining_tree_barrier.hpp"
+#include "core/cost_model.hpp"
 #include "core/policy.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
@@ -73,14 +83,30 @@ struct ReactiveBarrierParams {
     /// An episode whose arrival spread is below participants * this is
     /// "bunched": the central counter would serialize the arrivals.
     /// Sized to a directory-serialized RMW plus slack on the simulated
-    /// machine; on native hardware it is a TSC-cycle budget.
+    /// machine; on native hardware it is a TSC-cycle budget. With
+    /// `calibrate` set this is only the *seed*: the per-arrival budget
+    /// is re-derived from the measured RMW floor each episode.
     std::uint32_t bunched_cycles_per_arrival = 150;
     /// An episode whose spread exceeds the bunched threshold times this
     /// is "skewed": a straggler dominates and the tree buys nothing.
     std::uint32_t skew_factor = 4;
     /// A completer whose own counter RMW took this long observed
     /// directory queueing directly (central mode's second signal).
+    /// Seed only when `calibrate` is set, like the bunched budget.
     std::uint32_t contended_rmw_cycles = 400;
+    /// Derive the bunched/contended thresholds at run time from the
+    /// completer's measured counter-RMW latency instead of the cycle
+    /// constants above. The constants then act as seeds: the initial
+    /// RMW floor is bunched_cycles_per_arrival / bunched_rmw_multiple,
+    /// so a calibrated barrier starts numerically identical to a
+    /// static one and adapts from the first central episode onward.
+    bool calibrate = false;
+    /// Bunched budget per arrival = this many uncontended RMWs (the
+    /// slack over the raw serialization cost; 3 * 50 = the static 150).
+    std::uint32_t bunched_rmw_multiple = 3;
+    /// A completer RMW at or above this many uncontended RMWs observed
+    /// directory queueing (8 * 50 = the static 400).
+    std::uint32_t contended_rmw_multiple = 8;
 };
 
 /**
@@ -114,6 +140,9 @@ class ReactiveBarrier {
           tree_(participants, params.fan_in, /*track_arrival_spread=*/true),
           participants_(participants),
           params_(params),
+          rmw_floor_(params.bunched_cycles_per_arrival /
+                     (params.bunched_rmw_multiple ? params.bunched_rmw_multiple
+                                                  : 1)),
           policy_(policy)
     {
         // Initial protocol: central (the low-contention choice, as the
@@ -168,7 +197,15 @@ class ReactiveBarrier {
     /// Policy state access (in-consensus callers only).
     Policy& policy() { return policy_; }
 
+    /// Measured uncontended-RMW floor driving the calibrated
+    /// thresholds (in-consensus callers and tests).
+    std::uint64_t rmw_floor() const { return rmw_floor_; }
+
   private:
+    /// Calibrating policies additionally receive each episode's spread
+    /// as a cost sample (see episode_consensus).
+    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+
     /**
      * The completer's in-consensus step, run after its arrival and
      * before the release: classify the episode, feed the policy, and
@@ -184,19 +221,44 @@ class ReactiveBarrier {
         const std::uint64_t end = P::now();
         const std::uint64_t spread =
             end > first_arrival ? end - first_arrival : 0;
-        const std::uint64_t bunched_threshold =
-            static_cast<std::uint64_t>(params_.bunched_cycles_per_arrival) *
-            participants_;
+        // Classification thresholds: static cycle constants, or (with
+        // calibrate) re-derived each episode from the measured RMW
+        // floor — the episode-spread distribution's natural unit is
+        // "uncontended counter RMWs", which the completer measures for
+        // free in central mode.
+        std::uint64_t per_arrival = params_.bunched_cycles_per_arrival;
+        std::uint64_t contended_rmw = params_.contended_rmw_cycles;
+        if (params_.calibrate) {
+            if (m == Mode::kCentral)
+                sample_rmw_floor(arrive_cycles);
+            per_arrival = static_cast<std::uint64_t>(
+                              params_.bunched_rmw_multiple) *
+                          rmw_floor_;
+            contended_rmw = static_cast<std::uint64_t>(
+                                params_.contended_rmw_multiple) *
+                            rmw_floor_;
+        }
+        const std::uint64_t bunched_threshold = per_arrival * participants_;
         bool switch_now;
         if (m == Mode::kCentral) {
-            const bool bunched =
-                spread <= bunched_threshold ||
-                arrive_cycles >= params_.contended_rmw_cycles;
-            switch_now = policy_.on_tts_acquire(bunched);
+            const bool bunched = spread <= bunched_threshold ||
+                                 arrive_cycles >= contended_rmw;
+            // Calibrating policies also receive the episode spread as
+            // this episode's cost sample: under a steady workload the
+            // spread is the protocol-dependent part of the episode's
+            // critical path, so comparing spreads across modes is the
+            // barrier analogue of comparing acquisition latencies.
+            if constexpr (kCalibrating)
+                switch_now = policy_.on_tts_acquire(bunched, spread);
+            else
+                switch_now = policy_.on_tts_acquire(bunched);
         } else {
             const bool skewed =
                 spread >= bunched_threshold * params_.skew_factor;
-            switch_now = policy_.on_queue_acquire(skewed);
+            if constexpr (kCalibrating)
+                switch_now = policy_.on_queue_acquire(skewed, spread);
+            else
+                switch_now = policy_.on_queue_acquire(skewed);
         }
         if (switch_now) {
             const Mode next =
@@ -205,7 +267,33 @@ class ReactiveBarrier {
                          std::memory_order_relaxed);
             ++protocol_changes_;
             policy_.on_switch();
+            // The completer's measurable switching span — from the
+            // consensus stamp to here — covers the classification,
+            // policy, and mode-store work. The systemic remainder of a
+            // barrier change (the next episode running the other
+            // protocol cold) is excluded by the policy's
+            // first-sample-after-switch discard, and the policy's
+            // switch-cost multiplier scales the span to a disruption
+            // estimate, exactly as for the locks.
+            if constexpr (kCalibrating)
+                policy_.on_switch_cycles(P::now() - end);
         }
+    }
+
+    /// Decaying minimum of the completer's central-counter RMW latency:
+    /// drops to a lower sample immediately, grows toward higher samples
+    /// by ~1/16 per central episode (1/4 for the first few, so a
+    /// mis-seeded floor heals within a handful of episodes). Tracks the
+    /// *uncontended* RMW cost because the min over any window that
+    /// contains one quiet arrival is the quiet one.
+    void sample_rmw_floor(std::uint64_t sample)
+    {
+        const std::uint32_t shift = floor_samples_ < 8 ? 2 : 4;
+        if (floor_samples_ < 8)
+            ++floor_samples_;
+        const std::uint64_t grown =
+            rmw_floor_ + (rmw_floor_ >> shift) + 1;
+        rmw_floor_ = sample < grown ? sample : grown;
     }
 
     CentralBarrier<P> central_;
@@ -217,6 +305,8 @@ class ReactiveBarrier {
     CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
 
     ReactiveBarrierParams params_;
+    std::uint64_t rmw_floor_;             // mutated in-consensus only
+    std::uint32_t floor_samples_ = 0;     // mutated in-consensus only
     Policy policy_;                       // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
 };

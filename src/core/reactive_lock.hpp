@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/cost_model.hpp"
 #include "core/policy.hpp"
 #include "core/reactive_queue.hpp"
 #include "platform/backoff.hpp"
@@ -108,10 +109,16 @@ class ReactiveLock {
         // path performs *no* monitoring: a fast-path win says nothing
         // reliable about contention, and feeding it to a streak-based
         // policy as "uncontended" would break hysteresis streaks that
-        // spinning acquirers are legitimately building.
+        // spinning acquirers are legitimately building. Fast-path-aware
+        // calibrating policies get a bare won-here notification (the
+        // winner holds the lock, so the private counter increment is
+        // in-consensus; no timestamp, no shared write).
         if (params_.optimistic_tts &&
-            tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree)
+            tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree) {
+            if constexpr (FastPathAwarePolicy<Policy>)
+                policy_.on_tts_fast_acquire();
             return ReleaseMode::kTts;
+        }
         // Dispatch loop: each protocol attempt either succeeds or
         // observes that its protocol was retired and retries with the
         // other one (the protocol-manager loop of Figure 3.6, flattened
@@ -165,12 +172,35 @@ class ReactiveLock {
     static constexpr std::uint32_t kFree = 0;
     static constexpr std::uint32_t kBusy = 1;
 
+    /// Calibrating policies (core/cost_model.hpp) receive each
+    /// slow-path acquisition's measured latency and each switch's
+    /// measured duration; for plain policies no timestamp is ever
+    /// taken. Either way the samples flow only through policy state
+    /// (in-consensus, non-shared), never through shared memory.
+    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+
     /// Bookkeeping common to every successful TTS acquisition; the
-    /// caller holds the lock, so policy state is safe to touch.
-    ReleaseMode tts_acquired(bool contended)
+    /// caller holds the lock, so policy state is safe to touch. A
+    /// latency sample is passed only when its class is clean: an
+    /// immediate win measures the uncontended protocol cost, a
+    /// past-the-retry-limit win measures the contended cost. Wins that
+    /// merely spun a while measure *waiting*, which would poison the
+    /// estimator's residuals (see cost_model.hpp).
+    ReleaseMode tts_acquired(bool contended, bool spun, std::uint64_t start)
     {
-        return policy_.on_tts_acquire(contended) ? ReleaseMode::kTtsToQueue
-                                                 : ReleaseMode::kTts;
+        bool switch_now;
+        if constexpr (kCalibrating) {
+            if (contended || !spun)
+                switch_now =
+                    policy_.on_tts_acquire(contended, P::now() - start);
+            else
+                switch_now = policy_.on_tts_acquire(contended);
+        } else {
+            (void)spun;
+            (void)start;
+            switch_now = policy_.on_tts_acquire(contended);
+        }
+        return switch_now ? ReleaseMode::kTtsToQueue : ReleaseMode::kTts;
     }
 
     /// Figure 3.28 acquire_tts: spin with backoff, count failed
@@ -178,17 +208,20 @@ class ReactiveLock {
     /// with the queue protocol).
     std::optional<ReleaseMode> try_acquire_tts()
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         ExpBackoff<P> backoff(params_.backoff);
         std::uint32_t retries = 0;
         bool contended = false;
+        bool spun = false;
         for (;;) {
             if (tts_lock_.load(std::memory_order_relaxed) == kFree) {
                 if (tts_lock_.exchange(kBusy, std::memory_order_acquire) ==
                     kFree)
-                    return tts_acquired(contended);
+                    return tts_acquired(contended, spun, start);
                 if (++retries > params_.tts_retry_limit)
                     contended = true;
             }
+            spun = true;
             backoff.pause();
             if (mode_.value.load(std::memory_order_relaxed) !=
                 static_cast<std::uint32_t>(Mode::kTts))
@@ -196,20 +229,28 @@ class ReactiveLock {
         }
     }
 
+    /// Queue-side twin of tts_acquired.
+    ReleaseMode queue_acquired(bool empty, std::uint64_t start)
+    {
+        bool switch_now;
+        if constexpr (kCalibrating)
+            switch_now = policy_.on_queue_acquire(empty, P::now() - start);
+        else
+            switch_now = policy_.on_queue_acquire(empty);
+        return switch_now ? ReleaseMode::kQueueToTts : ReleaseMode::kQueue;
+    }
+
     /// Figure 3.28 acquire_queue; nullopt when the queue protocol was
     /// (or became) invalid — retry with TTS.
     std::optional<ReleaseMode> try_acquire_queue(Node& node)
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         switch (queue_.acquire(node)) {
         case ReactiveQueue<P>::Outcome::kAcquiredEmpty:
             // An empty queue signals low contention.
-            return policy_.on_queue_acquire(/*empty=*/true)
-                       ? ReleaseMode::kQueueToTts
-                       : ReleaseMode::kQueue;
+            return queue_acquired(/*empty=*/true, start);
         case ReactiveQueue<P>::Outcome::kAcquiredWaited:
-            return policy_.on_queue_acquire(/*empty=*/false)
-                       ? ReleaseMode::kQueueToTts
-                       : ReleaseMode::kQueue;
+            return queue_acquired(/*empty=*/false, start);
         case ReactiveQueue<P>::Outcome::kInvalid:
         default:
             return std::nullopt;
@@ -226,11 +267,14 @@ class ReactiveLock {
     /// lock is left busy (= invalid).
     void release_tts_to_queue(Node& node)
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         queue_.acquire_invalid(node);
         mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
                           std::memory_order_release);
         ++protocol_changes_;
         policy_.on_switch();
+        if constexpr (kCalibrating)
+            policy_.on_switch_cycles(P::now() - start);
         queue_.release(node);
     }
 
@@ -239,11 +283,17 @@ class ReactiveLock {
     /// free the TTS lock. The queue is left invalid.
     void release_queue_to_tts(Node& node)
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         mode_.value.store(static_cast<std::uint32_t>(Mode::kTts),
                           std::memory_order_release);
         ++protocol_changes_;
         policy_.on_switch();
         queue_.invalidate(&node);
+        // Still in consensus until the TTS word is freed below; the
+        // measured span covers the queue dismantling (the expensive
+        // half of this direction's change).
+        if constexpr (kCalibrating)
+            policy_.on_switch_cycles(P::now() - start);
         release_tts();
     }
 

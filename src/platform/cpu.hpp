@@ -30,18 +30,46 @@ inline void cpu_relax() noexcept
  * Monotonic cycle-resolution timestamp.
  *
  * On x86 this is the TSC (constant-rate on every CPU from the last
- * decade); elsewhere it falls back to steady_clock nanoseconds, which is
- * close enough to "cycles" for the ratios these algorithms care about.
+ * decade); on aarch64 the generic-timer count register (also constant
+ * rate, userspace readable). The portable fallback must NOT call
+ * steady_clock::now() per sample — a vDSO clock read costs tens to
+ * hundreds of cycles (the same pitfall prng.hpp documents for libc
+ * rand), which would let the calibration layer's per-acquisition
+ * timestamps perturb the very latencies being measured. Instead it
+ * keeps a thread-local coarse timebase: one real clock read per 256
+ * calls, advancing by one tick per call in between. Timestamps stay
+ * monotonic per thread (a call can't take under a nanosecond, so
+ * refreshes only ever jump forward). The accuracy tradeoff is
+ * deliberate and bounded: a duration spanning fewer than ~256 calls
+ * is a lower bound (it counts calls, not time), while any span that
+ * crosses refresh windows tracks real time to within one window —
+ * good enough for backoff growth and for EWMA cost ratios, the only
+ * consumers off x86/aarch64.
  */
 inline std::uint64_t tsc_now() noexcept
 {
 #if defined(__x86_64__)
     return __rdtsc();
+#elif defined(__aarch64__)
+    std::uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
 #else
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    struct CoarseTimebase {
+        std::uint64_t base = 0;
+        std::uint32_t calls = 0;
+    };
+    thread_local CoarseTimebase tb;
+    if ((tb.calls & 255u) == 0) {
+        const std::uint64_t real = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        // Never step below the previous window's last tick.
+        const std::uint64_t floor = tb.base + 256u;
+        tb.base = real > floor ? real : floor;
+    }
+    return tb.base + (tb.calls++ & 255u);
 #endif
 }
 

@@ -38,6 +38,17 @@
  * the plain RwLock concept and is a drop-in replacement for either
  * static protocol ("the interface to the application program remains
  * constant", Section 1.1).
+ *
+ * Calibrating-policy caveat: only writers feed the policy, so a
+ * re-probe (cost_model.hpp) that switches into the dormant protocol
+ * ends only after `probe_len` further *write* acquisitions. Reads that
+ * arrive meanwhile execute the probed protocol — correct, and within a
+ * constant factor of the home protocol's read cost (both serve reads
+ * in O(1) remote references) — but a workload that goes read-only
+ * right after a probe keeps that constant overhead until the next
+ * write. Read-mostly workloads that want zero probe exposure can set
+ * probe_period = 0 (estimates then refresh only when the protocols
+ * genuinely alternate).
  */
 #pragma once
 
@@ -45,6 +56,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/cost_model.hpp"
 #include "core/policy.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
@@ -156,8 +168,14 @@ class ReactiveRwLock {
         // As in the reactive mutex, the fast path performs no
         // monitoring: an uncontended win says nothing reliable and
         // would break streaks that spinning acquirers are building.
+        // Fast-path-aware policies get the traffic-free won-here
+        // notification (the writer holds full exclusivity, so the
+        // increment is in-consensus). Reader fast paths never touch
+        // policy state — readers hold no exclusivity.
         if (params_.optimistic_simple &&
             simple_.try_lock_write() == Attempt::kAcquired) {
+            if constexpr (FastPathAwarePolicy<Policy>)
+                policy_.on_tts_fast_acquire();
             n.rm = ReleaseMode::kSimple;
             return;
         }
@@ -215,6 +233,12 @@ class ReactiveRwLock {
     using Attempt = typename SimpleRwLock<P>::Attempt;
     using QOutcome = typename QueueRwLock<P>::Outcome;
 
+    /// Calibrating policies (core/cost_model.hpp) receive each
+    /// slow-path *write* acquisition's measured latency and each
+    /// switch's measured duration. Readers never feed the policy, so
+    /// they are never timed; plain policies never are either.
+    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+
     /// Simple-protocol read acquisition: spin with backoff while a
     /// writer is inside; false if the protocol was retired or the hint
     /// moved on (caller retries with the queue protocol).
@@ -242,15 +266,28 @@ class ReactiveRwLock {
     /// holds full exclusivity, so policy state is safe to touch).
     std::optional<ReleaseMode> try_write_simple()
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         ExpBackoff<P> backoff(params_.backoff);
         std::uint32_t retries = 0;
         for (;;) {
             switch (simple_.try_lock_write()) {
             case Attempt::kAcquired: {
                 const bool contended = retries > params_.write_retry_limit;
-                return policy_.on_tts_acquire(contended)
-                           ? ReleaseMode::kSimpleToQueue
-                           : ReleaseMode::kSimple;
+                bool switch_now;
+                if constexpr (kCalibrating) {
+                    // Sample only clean classes (immediate or past the
+                    // retry limit); mid-spin wins measure waiting, not
+                    // protocol cost (see cost_model.hpp).
+                    if (contended || retries == 0)
+                        switch_now = policy_.on_tts_acquire(contended,
+                                                            P::now() - start);
+                    else
+                        switch_now = policy_.on_tts_acquire(contended);
+                } else {
+                    switch_now = policy_.on_tts_acquire(contended);
+                }
+                return switch_now ? ReleaseMode::kSimpleToQueue
+                                  : ReleaseMode::kSimple;
             }
             case Attempt::kInvalid:
                 return std::nullopt;
@@ -269,19 +306,17 @@ class ReactiveRwLock {
     /// contention. nullopt when the protocol was retired.
     std::optional<ReleaseMode> try_write_queue(Node& n)
     {
-        switch (queue_.start_write(n.qnode)) {
-        case QOutcome::kAcquiredEmpty:
-            return policy_.on_queue_acquire(/*empty=*/true)
-                       ? ReleaseMode::kQueueToSimple
-                       : ReleaseMode::kQueue;
-        case QOutcome::kAcquiredWaited:
-            return policy_.on_queue_acquire(/*empty=*/false)
-                       ? ReleaseMode::kQueueToSimple
-                       : ReleaseMode::kQueue;
-        case QOutcome::kInvalid:
-        default:
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
+        const QOutcome outcome = queue_.start_write(n.qnode);
+        if (outcome == QOutcome::kInvalid)
             return std::nullopt;
-        }
+        const bool empty = outcome == QOutcome::kAcquiredEmpty;
+        bool switch_now;
+        if constexpr (kCalibrating)
+            switch_now = policy_.on_queue_acquire(empty, P::now() - start);
+        else
+            switch_now = policy_.on_queue_acquire(empty);
+        return switch_now ? ReleaseMode::kQueueToSimple : ReleaseMode::kQueue;
     }
 
     /// The holding writer validates the queue (capturing its INVALID
@@ -289,12 +324,15 @@ class ReactiveRwLock {
     /// the queue. Mirrors release_tts_to_queue (Figure 3.29).
     void release_simple_to_queue(Node& n)
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         queue_.acquire_invalid_write(n.qnode);
         simple_.invalidate_from_writer();
         mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
                           std::memory_order_release);
         ++protocol_changes_;
         policy_.on_switch();
+        if constexpr (kCalibrating)
+            policy_.on_switch_cycles(P::now() - start);
         queue_.end_write(n.qnode);
     }
 
@@ -303,11 +341,15 @@ class ReactiveRwLock {
     /// validates + frees the simple word. Mirrors release_queue_to_tts.
     void release_queue_to_simple(Node& n)
     {
+        const std::uint64_t start = kCalibrating ? P::now() : 0;
         mode_.value.store(static_cast<std::uint32_t>(Mode::kSimple),
                           std::memory_order_release);
         ++protocol_changes_;
         policy_.on_switch();
         queue_.invalidate(&n.qnode);
+        // Still in consensus until validate_free() publishes the word.
+        if constexpr (kCalibrating)
+            policy_.on_switch_cycles(P::now() - start);
         simple_.validate_free();
     }
 
