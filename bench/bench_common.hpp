@@ -17,9 +17,11 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -187,6 +189,141 @@ class JsonRecords {
         double cycles_per_op = 0;
     };
     std::vector<Record> records_;
+};
+
+// ---- crossover tables --------------------------------------------------
+
+/**
+ * Crossover-table builder shared by the calibration and barrier
+ * figures (it replaces the emit/check logic those binaries used to
+ * copy-paste): collects named rows over a processor axis, derives the
+ * per-column "ideal (best static)" row from the rows flagged static,
+ * prints the aligned table, optionally appends every cell (and the
+ * ideal) to a JsonRecords in column-major order — the layout
+ * BENCH_*.json diffing relies on — and hosts the envelope checks that
+ * assert one row tracks a reference within a factor.
+ */
+class CrossoverTable {
+  public:
+    CrossoverTable(std::string title, std::string bench, std::string regime,
+                   std::vector<std::uint32_t> procs,
+                   std::string axis_prefix = "P=",
+                   std::string row_label = "policy")
+        : title_(std::move(title)),
+          bench_(std::move(bench)),
+          regime_(std::move(regime)),
+          procs_(std::move(procs)),
+          axis_prefix_(std::move(axis_prefix)),
+          row_label_(std::move(row_label))
+    {
+    }
+
+    /// Adds a row; rows flagged static join the per-column ideal.
+    void row(std::string name, std::vector<double> cells,
+             bool is_static = false)
+    {
+        rows_.push_back(Row{std::move(name), std::move(cells), is_static});
+    }
+
+    const std::vector<double>& cells(std::size_t i) const
+    {
+        return rows_[i].cells;
+    }
+
+    const std::vector<std::uint32_t>& procs() const { return procs_; }
+
+    /// Per-column minimum over the static rows.
+    std::vector<double> ideal() const
+    {
+        std::vector<double> best(procs_.size(), 0.0);
+        for (std::size_t c = 0; c < procs_.size(); ++c) {
+            bool first = true;
+            for (const Row& r : rows_) {
+                if (!r.is_static)
+                    continue;
+                if (first || r.cells[c] < best[c])
+                    best[c] = r.cells[c];
+                first = false;
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Envelope check: row @p candidate must stay within @p factor of
+     * @p reference in every column. Prints one CHECK FAIL line per
+     * violating column and returns the violation count.
+     */
+    int check_tracks(std::size_t candidate,
+                     const std::vector<double>& reference, double factor,
+                     const std::string& reference_name) const
+    {
+        int failures = 0;
+        const Row& r = rows_[candidate];
+        for (std::size_t c = 0; c < procs_.size(); ++c) {
+            if (r.cells[c] <= factor * reference[c])
+                continue;
+            ++failures;
+            std::cout << "  CHECK FAIL [" << bench_ << "/" << regime_
+                      << " " << axis_prefix_ << procs_[c]
+                      << "]: " << r.name << "="
+                      << stats::fmt(r.cells[c], 1) << " > "
+                      << factor << " * " << reference_name << "="
+                      << stats::fmt(reference[c], 1) << "\n";
+        }
+        return failures;
+    }
+
+    /**
+     * Prints the table (ideal row appended) with @p notes; when
+     * @p records is non-null, appends every cell plus the ideal,
+     * column-major.
+     */
+    void emit(JsonRecords* records,
+              const std::vector<std::string>& notes) const
+    {
+        stats::Table t(title_);
+        std::vector<std::string> header{row_label_};
+        for (std::uint32_t p : procs_)
+            header.push_back(axis_prefix_ + std::to_string(p));
+        t.header(header);
+        for (const Row& r : rows_) {
+            std::vector<std::string> cells{r.name};
+            for (double v : r.cells)
+                cells.push_back(stats::fmt(v, 0));
+            t.row(cells);
+        }
+        const std::vector<double> best = ideal();
+        std::vector<std::string> ideal_row{"ideal (best static)"};
+        for (std::size_t c = 0; c < procs_.size(); ++c) {
+            ideal_row.push_back(stats::fmt(best[c], 0));
+            if (records != nullptr) {
+                for (const Row& r : rows_)
+                    records->add(bench_, r.name, procs_[c], regime_,
+                                 r.cells[c]);
+                records->add(bench_, "ideal", procs_[c], regime_, best[c]);
+            }
+        }
+        t.row(ideal_row);
+        for (const std::string& n : notes)
+            t.note(n);
+        t.print();
+    }
+
+  private:
+    struct Row {
+        std::string name;
+        std::vector<double> cells;
+        bool is_static;
+    };
+
+    std::string title_;
+    std::string bench_;
+    std::string regime_;
+    std::vector<std::uint32_t> procs_;
+    std::string axis_prefix_;
+    std::string row_label_;
+    std::vector<Row> rows_;
 };
 
 /// Contention sweep used by the baseline figures.

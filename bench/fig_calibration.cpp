@@ -130,8 +130,8 @@ std::uint32_t calib_iters(std::uint32_t procs, const BenchArgs& a)
     return 800 * scale;
 }
 
-/// Envelope checks for one table column; records failures for the exit
-/// summary. The never-worse comparison carries a 5% epsilon: where the
+/// Envelope checks are hosted by CrossoverTable (bench_common.hpp);
+/// the never-worse comparison carries a 5% epsilon: where the
 /// mis-tuned constants *happen* to encode the optimal behaviour (the
 /// reluctant policy at a hot convoy, say), a bounded-regret adaptive
 /// policy necessarily trails it by its probing/convergence budget —
@@ -139,33 +139,10 @@ std::uint32_t calib_iters(std::uint32_t procs, const BenchArgs& a)
 /// unconditionally.
 bool g_check_enabled = true;
 
-void check_point(const std::string& bench, const std::string& regime,
-                 std::uint32_t procs, double ideal, double calibrated,
-                 double mistuned)
-{
-    if (!g_check_enabled)
-        return;
-    const bool within = calibrated <= 1.10 * ideal;
-    const bool never_worse = calibrated <= 1.05 * mistuned;
-    if (!within || !never_worse) {
-        ++g_failures;
-        std::cout << "  CHECK FAIL [" << bench << "/" << regime
-                  << " P=" << procs << "]: calibrated=" << stats::fmt(calibrated, 1)
-                  << " ideal=" << stats::fmt(ideal, 1)
-                  << " mistuned=" << stats::fmt(mistuned, 1) << "\n";
-    }
-}
-
 void lock_regime_table(const char* title, const char* regime,
                        std::uint32_t think, const BenchArgs& args)
 {
     const auto procs = calib_procs(args);
-    stats::Table t(title);
-    std::vector<std::string> header{"policy"};
-    for (std::uint32_t p : procs)
-        header.push_back("P=" + std::to_string(p));
-    t.header(header);
-
     const std::vector<std::string> names{
         "tts (static)",         "mcs (static)",       "reactive tuned",
         "reactive 10x-over",    "reactive 10x-under", "calibrated over-seed",
@@ -206,31 +183,25 @@ void lock_regime_table(const char* title, const char* regime,
     }
     std::cerr << "\n";
 
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        std::vector<std::string> cells{names[i]};
-        for (double v : rows[i])
-            cells.push_back(stats::fmt(v, 0));
-        t.row(cells);
-    }
-    std::vector<std::string> ideal_row{"ideal (best static)"};
-    for (std::size_t c = 0; c < procs.size(); ++c) {
-        const double ideal = std::min(rows[0][c], rows[1][c]);
-        ideal_row.push_back(stats::fmt(ideal, 0));
-        for (std::size_t i = 0; i < names.size(); ++i)
-            g_records.add("spinlock", names[i], procs[c], regime, rows[i][c]);
-        g_records.add("spinlock", "ideal", procs[c], regime, ideal);
+    CrossoverTable table(title, "spinlock", regime, procs);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        table.row(names[i], std::move(rows[i]), /*is_static=*/i < 2);
+    table.emit(&g_records,
+               {"cycles per critical section (100-cycle section included);",
+                "mis-tuned rows pay for wrong constants, calibrated rows",
+                "measure their way back from the same wrong seeds"});
+    if (g_check_enabled) {
         // Calibrated-over recovers from the reluctant mis-tuning (row
-        // 3), calibrated-under from the trigger-happy one (row 4).
-        check_point("spinlock", regime, procs[c], ideal, rows[5][c],
-                    rows[3][c]);
-        check_point("spinlock", regime, procs[c], ideal, rows[6][c],
-                    rows[4][c]);
+        // 3), calibrated-under from the trigger-happy one (row 4);
+        // both must land within 10% of the best static protocol and
+        // never trail their mis-tuned twin by more than the probing
+        // budget.
+        const std::vector<double> ideal = table.ideal();
+        g_failures += table.check_tracks(5, ideal, 1.10, "ideal");
+        g_failures += table.check_tracks(6, ideal, 1.10, "ideal");
+        g_failures += table.check_tracks(5, table.cells(3), 1.05, names[3]);
+        g_failures += table.check_tracks(6, table.cells(4), 1.05, names[4]);
     }
-    t.row(ideal_row);
-    t.note("cycles per critical section (100-cycle section included);");
-    t.note("mis-tuned rows pay for wrong constants, calibrated rows");
-    t.note("measure their way back from the same wrong seeds");
-    t.print();
 }
 
 // ---- barrier section --------------------------------------------------
@@ -291,12 +262,6 @@ void barrier_regime_table(const char* title, const char* regime, bool skewed,
                    : std::vector<std::uint32_t>{4, 8, 16, 32};
     if (args.full)
         procs.push_back(64);
-    stats::Table t(title);
-    std::vector<std::string> header{"policy"};
-    for (std::uint32_t p : procs)
-        header.push_back("P=" + std::to_string(p));
-    t.header(header);
-
     const std::vector<std::string> names{
         "central (static)", "tree (static)", "reactive static-thresholds",
         "calibrated over-seed", "calibrated under-seed"};
@@ -330,39 +295,21 @@ void barrier_regime_table(const char* title, const char* regime, bool skewed,
     }
     std::cerr << "\n";
 
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        std::vector<std::string> cells{names[i]};
-        for (double v : rows[i])
-            cells.push_back(stats::fmt(v, 0));
-        t.row(cells);
-    }
-    std::vector<std::string> ideal_row{"ideal (best static)"};
-    for (std::size_t c = 0; c < procs.size(); ++c) {
-        const double ideal = std::min(rows[0][c], rows[1][c]);
-        ideal_row.push_back(stats::fmt(ideal, 0));
-        for (std::size_t i = 0; i < names.size(); ++i)
-            g_records.add("barrier", names[i], procs[c], regime, rows[i][c]);
-        g_records.add("barrier", "ideal", procs[c], regime, ideal);
+    CrossoverTable table(title, "barrier", regime, procs);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        table.row(names[i], std::move(rows[i]), /*is_static=*/i < 2);
+    table.emit(&g_records,
+               {"cycles per episode; calibrated rows start from 10x wrong",
+                "threshold and cost seeds and re-derive both from measured",
+                "episode spreads and counter-RMW latencies"});
+    if (g_check_enabled) {
         // The adaptive baseline is the reactive barrier itself: its gap
         // to ideal is the monitoring cost (the price of adaptivity,
         // see fig_barrier); calibration from 10x-wrong seeds must stay
         // within 10% of the static-threshold reactive barrier.
-        for (const std::size_t cal : {std::size_t{3}, std::size_t{4}}) {
-            if (g_check_enabled && rows[cal][c] > 1.10 * rows[2][c]) {
-                ++g_failures;
-                std::cout << "  CHECK FAIL [barrier/" << regime
-                          << " P=" << procs[c] << "]: " << names[cal] << "="
-                          << stats::fmt(rows[cal][c], 1)
-                          << " static-thresholds="
-                          << stats::fmt(rows[2][c], 1) << "\n";
-            }
-        }
+        g_failures += table.check_tracks(3, table.cells(2), 1.10, names[2]);
+        g_failures += table.check_tracks(4, table.cells(2), 1.10, names[2]);
     }
-    t.row(ideal_row);
-    t.note("cycles per episode; calibrated rows start from 10x wrong");
-    t.note("threshold and cost seeds and re-derive both from measured");
-    t.note("episode spreads and counter-RMW latencies");
-    t.print();
 }
 
 // ---- rwlock section ---------------------------------------------------
@@ -397,13 +344,6 @@ void rw_table(const BenchArgs& args)
                    : std::vector<std::uint32_t>{4, 8, 16, 32};
     const std::uint32_t ops = args.smoke ? 200 : (args.full ? 2400 : 1200);
 
-    stats::Table t(
-        "rwlock: cycles per op, write-heavy mix (25% reads, think 400)");
-    std::vector<std::string> header{"policy"};
-    for (std::uint32_t p : procs)
-        header.push_back("P=" + std::to_string(p));
-    t.header(header);
-
     const std::vector<std::string> names{"simple (static)", "queue (static)",
                                          "reactive tuned",
                                          "calibrated over-seed",
@@ -425,24 +365,13 @@ void rw_table(const BenchArgs& args)
     }
     std::cerr << "\n";
 
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        std::vector<std::string> cells{names[i]};
-        for (double v : rows[i])
-            cells.push_back(stats::fmt(v, 0));
-        t.row(cells);
-    }
-    std::vector<std::string> ideal_row{"ideal (best static)"};
-    for (std::size_t c = 0; c < procs.size(); ++c) {
-        const double ideal = std::min(rows[0][c], rows[1][c]);
-        ideal_row.push_back(stats::fmt(ideal, 0));
-        for (std::size_t i = 0; i < names.size(); ++i)
-            g_records.add("rwlock", names[i], procs[c], "write_heavy",
-                          rows[i][c]);
-        g_records.add("rwlock", "ideal", procs[c], "write_heavy", ideal);
-    }
-    t.row(ideal_row);
-    t.note("writer-side calibration only; readers never touch policy");
-    t.print();
+    CrossoverTable table(
+        "rwlock: cycles per op, write-heavy mix (25% reads, think 400)",
+        "rwlock", "write_heavy", procs);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        table.row(names[i], std::move(rows[i]), /*is_static=*/i < 2);
+    table.emit(&g_records,
+               {"writer-side calibration only; readers never touch policy"});
 }
 
 // ---- native pinned section --------------------------------------------

@@ -20,17 +20,35 @@
 #include <thread>
 #include <vector>
 
+#include "barrier/dissemination_barrier.hpp"
 #include "barrier/reactive_barrier.hpp"
+#include "core/protocol_set.hpp"
 #include "platform/native_platform.hpp"
 
 using reactive::NativePlatform;
 
 namespace {
 
-using PhaseBarrier = reactive::ReactiveBarrier<NativePlatform>;
+// The full three-protocol set (ProtocolSet API): central counter,
+// fan-in-4 combining tree, dissemination — selected at run time by the
+// measured ladder policy.
+using PhaseBarrier = reactive::ReactiveBarrier<
+    NativePlatform, reactive::CalibratedLadderPolicy,
+    reactive::ProtocolSet<reactive::CentralBarrier<NativePlatform>,
+                          reactive::CombiningTreeBarrier<NativePlatform>,
+                          reactive::DisseminationBarrier<NativePlatform>>>;
+
 const char* mode_name(PhaseBarrier::Mode m)
 {
-    return m == PhaseBarrier::Mode::kCentral ? "central" : "tree";
+    switch (m) {
+    case PhaseBarrier::Mode::kCentral:
+        return "central";
+    case PhaseBarrier::Mode::kTree:
+        return "tree";
+    case PhaseBarrier::Mode::kDissemination:
+        return "dissem";
+    }
+    return "?";
 }
 
 }  // namespace
@@ -44,13 +62,18 @@ int main()
     constexpr std::uint64_t kBalancedWork = 2000;     // TSC cycles
     constexpr std::uint64_t kImbalancedWork = 400000; // worker 0, odd phases
 
-    // Native TSC thresholds: a balanced episode's arrival spread is a
-    // few thousand cycles, the imbalanced partition half a millisecond;
-    // place the bunched/skewed boundaries between the two regimes.
+    // Traffic-free monitoring: episode periods rank the three rungs,
+    // completer-identity streaks detect the imbalanced phases — no
+    // TSC-threshold tuning needed beyond the contended-RMW budget.
     reactive::ReactiveBarrierParams params;
-    params.bunched_cycles_per_arrival = 20000 / workers;  // spread ~20k
-    params.skew_factor = 4;                               // skew >= ~80k
-    PhaseBarrier barrier(workers, params);
+    params.free_monitoring = true;
+    params.contended_rmw_cycles = 2000;  // native TSC budget
+    reactive::CalibratedLadderPolicy::Params policy_params;
+    policy_params.protocols = 3;
+    policy_params.probe_period = 8;
+    policy_params.probe_backoff_cap = 7;
+    PhaseBarrier barrier(workers, params,
+                         reactive::CalibratedLadderPolicy(policy_params));
 
     std::printf("barrier_phases: %u workers, %d phases of %d episodes "
                 "(balanced <-> one imbalanced partition)\n",

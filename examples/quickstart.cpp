@@ -48,8 +48,8 @@ int main()
                 "protocol changes: %llu, final protocol: %s\n",
                 shared_value, 10000L * n_threads,
                 static_cast<unsigned long long>(
-                    mutex.lock().protocol_changes()),
-                mutex.lock().mode() ==
+                    mutex.lock_object().protocol_changes()),
+                mutex.lock_object().mode() ==
                         reactive::ReactiveMutex<
                             NativePlatform>::Lock::Mode::kTts
                     ? "test-and-test-and-set"

@@ -34,4 +34,61 @@ concept Barrier = requires(B b, typename B::Node n) {
 };
 // clang-format on
 
+/**
+ * Uniform construction options for barrier protocol-set members
+ * (core/protocol_set.hpp): every slot of a barrier ProtocolSet is
+ * constructed as `Slot(participants, BarrierSlotOptions)`. Protocols
+ * ignore the fields that do not concern them.
+ */
+struct BarrierSlotOptions {
+    /// Record the per-episode reactive signals (first-arrival stamps,
+    /// completer arrival latency). Standalone barriers leave this off
+    /// and pay nothing for the hooks.
+    bool track_signals = false;
+    /// Arrival fan-in of tree-shaped protocols.
+    std::uint32_t fan_in = 4;
+};
+
+/**
+ * Outcome of one decomposed arrival — the barrier family's
+ * per-acquisition signal (the `ProtocolSlot` signal requirement,
+ * core/protocol_set.hpp). `last` elects the episode's consensus
+ * process; the stamps are only meaningful on the completer of a
+ * signal-tracking slot.
+ */
+struct BarrierEpisode {
+    bool last = false;  ///< this arrival completed the episode
+    /// The protocol designates a fixed completer (dissemination) rather
+    /// than electing whichever participant finishes last — completer
+    /// identity then carries no arrival-order information, and skew
+    /// detection falls back to the completer's own arrival latency.
+    bool fixed_completer = false;
+    std::uint64_t first_arrival = 0;  ///< episode's first-arrival stamp
+    std::uint64_t arrive_cycles = 0;  ///< completer's own arrival latency
+};
+
+// clang-format off
+/**
+ * The barrier family's refinement of the core `ProtocolSlot` concept:
+ * a barrier whose arrival is decomposed so a reactive dispatcher can
+ * interpose the episode-consensus step between the election of the
+ * completer and the release it performs. The slot's consensus object
+ * is the completer election itself (counter reaching zero, root
+ * completed, designated-completer round); "invalidate/revalidate" is
+ * the episode hand-off — a slot is live only for episodes the mode
+ * index routes to it, and the completer's release publishes any mode
+ * change before the next episode can start, so an idle slot is never
+ * entered and needs no INVALID sentinels.
+ */
+template <typename B>
+concept BarrierProtocolSlot =
+    Barrier<B> &&
+    std::constructible_from<B, std::uint32_t, BarrierSlotOptions> &&
+    requires(B b, typename B::Node n) {
+        { b.arrive_only(n) } -> std::same_as<BarrierEpisode>;
+        { b.wait_episode(n) } -> std::same_as<void>;
+        { b.release_episode(n) } -> std::same_as<void>;
+    };
+// clang-format on
+
 }  // namespace reactive

@@ -14,19 +14,20 @@
  * combining-tree protocol (combining_tree_barrier.hpp) exists for.
  *
  * Reactive hooks: arrival is decomposed into arrive_only() /
- * wait_episode() / release_episode() so the reactive barrier can
- * interpose its consensus step between detecting the last arrival and
- * releasing the episode. The protocol also records (opt-in, so the
- * standalone barrier pays nothing) the two contention signals the
- * reactive policy samples: each episode's first arrival deposits a
- * timestamp before its counter decrement (a CAS paid only by the
- * arrivals racing to be first; the decrement's release/acquire chain
- * then publishes it to the completer), and each arrival measures its
- * own counter-RMW latency, which under bunched arrivals includes the
- * directory queueing delay.
+ * wait_episode() / release_episode() (the uniform BarrierProtocolSlot
+ * interface) so the reactive barrier can interpose its consensus step
+ * between detecting the last arrival and releasing the episode. The
+ * protocol also records (opt-in, so the standalone barrier pays
+ * nothing) the two contention signals the reactive policy samples:
+ * each episode's first arrival deposits a timestamp before its counter
+ * decrement (a CAS paid only by the arrivals racing to be first; the
+ * decrement's release/acquire chain then publishes it to the
+ * completer), and each arrival measures its own counter-RMW latency,
+ * which under bunched arrivals includes the directory queueing delay.
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "barrier/barrier_concepts.hpp"
@@ -46,14 +47,9 @@ class CentralBarrier {
     /// Per-participant state; reuse the same Node across episodes.
     struct Node {
         std::uint32_t sense = 1;
-    };
-
-    /// Outcome of one arrival (the reactive dispatcher's view).
-    struct Arrival {
-        bool last = false;             ///< this arrival completed the episode
-        std::uint32_t episode_sense;   ///< sense value of this episode
-        std::uint64_t arrive_cycles;   ///< latency of the counter RMW (the
-                                       ///< per-episode contention observation)
+        /// Sense of the episode the node is currently arriving at
+        /// (recorded by arrive_only for wait/release).
+        std::uint32_t episode_sense = 0;
     };
 
     /**
@@ -71,29 +67,37 @@ class CentralBarrier {
         sense_->store(0, std::memory_order_relaxed);
     }
 
+    /// BarrierProtocolSlot construction (core/protocol_set.hpp).
+    CentralBarrier(std::uint32_t participants, BarrierSlotOptions opts)
+        : CentralBarrier(participants, opts.track_signals)
+    {
+    }
+
     // ---- plain blocking interface (Barrier concept) ------------------
 
     void arrive(Node& n)
     {
-        const Arrival a = arrive_only(n);
-        if (a.last)
-            release_episode(a.episode_sense);
+        if (arrive_only(n).last)
+            release_episode(n);
         else
-            wait_episode(a.episode_sense);
+            wait_episode(n);
     }
 
     std::uint32_t participants() const { return participants_; }
 
-    // ---- decomposed primitives (reactive dispatcher) -----------------
+    // ---- decomposed slot interface (reactive dispatcher) -------------
 
     /// Signals this participant's arrival (flips the node's sense).
-    /// Returns whether it was the last arrival of the episode; if so the
-    /// caller holds the episode consensus and must eventually call
-    /// release_episode() with the returned sense.
-    Arrival arrive_only(Node& n)
+    /// `last` in the result means the caller holds the episode
+    /// consensus and must eventually call release_episode(); everyone
+    /// else calls wait_episode(). The first-arrival stamp (tracked
+    /// mode) and the caller's counter-RMW latency ride in the result —
+    /// under bunched arrivals the RMW latency includes the directory
+    /// queueing delay, the protocol's contention observation.
+    BarrierEpisode arrive_only(Node& n)
     {
-        Arrival a;
-        a.episode_sense = n.sense;
+        BarrierEpisode a;
+        n.episode_sense = n.sense;
         n.sense ^= 1u;
         const std::uint64_t t0 = P::now();
         if (track_ && first_stamp_.load(std::memory_order_relaxed) == 0) {
@@ -114,33 +118,27 @@ class CentralBarrier {
             count_.fetch_sub(1, std::memory_order_acq_rel);
         a.arrive_cycles = P::now() - t0;
         a.last = prev == 1;
+        if (a.last && track_)
+            a.first_arrival = first_stamp_.load(std::memory_order_relaxed);
         return a;
     }
 
-    /// Spins until the episode with sense @p episode_sense is released.
-    void wait_episode(std::uint32_t episode_sense)
+    /// Spins until the node's episode is released.
+    void wait_episode(Node& n)
     {
-        while (sense_->load(std::memory_order_acquire) != episode_sense)
+        while (sense_->load(std::memory_order_acquire) != n.episode_sense)
             P::pause();
     }
 
     /// Completes the episode: resets the counter for the next episode
     /// and flips the shared sense, releasing all waiters. Only the last
     /// arriver may call this, after any in-consensus work.
-    void release_episode(std::uint32_t episode_sense)
+    void release_episode(Node& n)
     {
         if (track_)
             first_stamp_.store(0, std::memory_order_relaxed);
         count_.store(participants_, std::memory_order_relaxed);
-        sense_->store(episode_sense, std::memory_order_release);
-    }
-
-    /// Cycle stamp of this episode's first arrival (tracked mode). In-
-    /// consensus callers (the last arriver, before release_episode)
-    /// only; release_episode re-arms it for the next episode.
-    std::uint64_t episode_first_arrival() const
-    {
-        return first_stamp_.load(std::memory_order_relaxed);
+        sense_->store(n.episode_sense, std::memory_order_release);
     }
 
   private:

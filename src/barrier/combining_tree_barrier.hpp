@@ -37,6 +37,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -88,6 +89,12 @@ class CombiningTreeBarrier {
         std::uint64_t arrive_cycles = 0;  ///< this process' climb latency
     };
 
+    /// BarrierProtocolSlot construction (core/protocol_set.hpp).
+    CombiningTreeBarrier(std::uint32_t participants, BarrierSlotOptions opts)
+        : CombiningTreeBarrier(participants, opts.fan_in, opts.track_signals)
+    {
+    }
+
     /**
      * @param participants         fixed episode size.
      * @param fan_in               arrivals combined per tree node (>= 2).
@@ -129,7 +136,7 @@ class CombiningTreeBarrier {
 
     void arrive(Node& n)
     {
-        if (arrive_only(n))
+        if (arrive_only(n).last)
             release_episode(n);
         else
             wait_episode(n);
@@ -139,16 +146,18 @@ class CombiningTreeBarrier {
 
     std::uint32_t fan_in() const { return fan_in_; }
 
-    // ---- decomposed primitives (reactive dispatcher) -----------------
+    // ---- decomposed slot interface (reactive dispatcher) -------------
 
     /**
      * Climbs the arrival tree, recycling each fully-arrived node for
-     * the next episode on the way. Returns true iff this process
-     * completed the episode at the root (it then holds the episode
-     * consensus and must eventually call release_episode()); otherwise
-     * the caller waits via wait_episode().
+     * the next episode on the way. `last` in the result means this
+     * process completed the episode at the root (it then holds the
+     * episode consensus and must eventually call release_episode());
+     * otherwise the caller waits via wait_episode(). The combined
+     * minimum arrival stamp and the completer's climb latency ride in
+     * the result (tracked mode).
      */
-    bool arrive_only(Node& n)
+    BarrierEpisode arrive_only(Node& n)
     {
         if (!n.assigned) {
             n.id = next_id_.fetch_add(1, std::memory_order_relaxed) %
@@ -167,7 +176,7 @@ class CombiningTreeBarrier {
                 t->count.fetch_sub(1, std::memory_order_acq_rel);
             if (prev != 1) {
                 n.stop = t;
-                return false;
+                return BarrierEpisode{};
             }
             // Last arrival at this node: collect the combined stamp and
             // recycle the node before climbing (see file comment).
@@ -183,7 +192,11 @@ class CombiningTreeBarrier {
             if (t->parent == nullptr) {
                 n.first_arrival = carry;
                 n.arrive_cycles = P::now() - t0;
-                return true;
+                BarrierEpisode ep;
+                ep.last = true;
+                ep.first_arrival = n.first_arrival;
+                ep.arrive_cycles = n.arrive_cycles;
+                return ep;
             }
             t = t->parent;
         }

@@ -1,11 +1,14 @@
 /**
  * @file
- * The reactive barrier: dynamically selects between the centralized
- * sense-reversing barrier (central_barrier.hpp, optimal at low
- * participant counts and skewed arrivals) and the fan-in-k combining
- * tree (combining_tree_barrier.hpp, optimal at high participant counts
- * under bunched arrivals), reusing the switching policies of
- * core/policy.hpp unmodified.
+ * The reactive barrier: dynamically selects among an N-protocol
+ * `ProtocolSet` of barrier implementations (core/protocol_set.hpp).
+ * The stock two-protocol set pairs the centralized sense-reversing
+ * barrier (central_barrier.hpp, optimal at low participant counts and
+ * skewed arrivals) with the fan-in-k combining tree
+ * (combining_tree_barrier.hpp, optimal at high participant counts
+ * under bunched arrivals); the three-protocol set adds the
+ * dissemination barrier (dissemination_barrier.hpp, contended-RMW-free
+ * log2 P critical path) as the most scalable rung.
  *
  * This is the consensus-object construction of the reactive lock
  * (thesis Sections 3.2.5-3.3.1) carried to a primitive with *no
@@ -14,44 +17,54 @@
  * holder" has no direct analogue. The barrier substitutes a different
  * consensus point with a stronger property:
  *
- *  - **The last arriver of each episode is the in-consensus process.**
- *    Both protocols elect exactly one such process per episode (the
- *    arrival that takes the central counter to zero; the climber that
- *    completes the root). Between that election and the release it
- *    performs, *every other participant is provably quiescent*: each
- *    has finished its arrival and cannot leave the episode's wait —
- *    let alone start the next episode — until the release. The
- *    completer therefore mutates policy state, the mode variable, and
- *    either protocol's idle state entirely race-free, with no INVALID
- *    sentinels, no retry dispatch, and no switch serialization beyond
- *    the episode order itself (consecutive completers are ordered by
- *    the release/acquire chain of the episodes between them).
- *  - **The mode variable is exact, not a hint.** The switch is stored
+ *  - **Each episode elects exactly one in-consensus completer.** Every
+ *    slot protocol elects one such process per episode (the arrival
+ *    that takes the central counter to zero; the climber that
+ *    completes the root; the dissemination protocol's designated
+ *    completer). Between that election and the release it performs,
+ *    *every other participant is provably quiescent*: each has
+ *    finished its arrival and cannot leave the episode's wait — let
+ *    alone start the next episode — until the release. The completer
+ *    therefore mutates policy state, the mode index, and any slot's
+ *    idle state entirely race-free, with no INVALID sentinels, no
+ *    retry dispatch, and no switch serialization beyond the episode
+ *    order itself (consecutive completers are ordered by the
+ *    release/acquire chain of the episodes between them).
+ *  - **The mode index is exact, not a hint.** The switch is stored
  *    before the release; every participant's next arrival happens
  *    after acquiring that release, so all participants of an episode
  *    execute the same protocol. This is *stronger* than the lock case
  *    (where racing the mode hint is benign-but-possible) and is what
- *    removes the need for the locks' invalid-protocol retry loops.
- *    It also keeps each protocol's sense bookkeeping trivially
- *    consistent: a participant's per-protocol sense flips exactly once
- *    per episode executed on that protocol, uniformly across the
- *    participant set.
+ *    removes the need for the locks' invalid-protocol retry loops. It
+ *    also keeps each slot's episode bookkeeping trivially consistent:
+ *    a participant's per-slot state advances exactly once per episode
+ *    executed on that slot, uniformly across the participant set.
  *  - **Monitoring rides on arrival** (the analogue of Section 3.2.6):
  *    the completer samples the episode's *arrival spread* — the cycle
- *    gap between the first arrival (stamped for free by the protocols:
- *    a single store in the central barrier, a min-combine up the tree)
- *    and episode completion — plus its own arrival latency, which in
- *    central mode measures queueing at the counter's home directory. A
- *    small spread means the participants arrived together and the
- *    central counter serialized them (the tree's regime); a spread of
- *    many thousands of cycles means a straggler dominated and the tree
- *    is pure overhead (the central regime).
+ *    gap between the first arrival (stamped for free by the slots: a
+ *    single store in the central barrier, a min-combine up the tree,
+ *    the same racing CAS in the dissemination protocol) and episode
+ *    completion — plus its own arrival latency, which in central mode
+ *    measures queueing at the counter's home directory. A small spread
+ *    means the participants arrived together and serialization is the
+ *    bottleneck (the scalable rungs' regime); a spread of many
+ *    thousands of cycles means a straggler dominated and any tree or
+ *    round structure is pure overhead (the central regime).
  *
- * Policy reuse: a central-mode episode feeds `on_tts_acquire(bunched)`
- * (the centralized protocol plays the TTS role) and a tree-mode episode
- * feeds `on_queue_acquire(skewed)` (the scalable protocol plays the
- * queue role), so AlwaysSwitch, Competitive3 and Hysteresis apply
- * unmodified with an episode as the unit of observation.
+ * Policy interface: the completer classifies the episode into a
+ * `ProtocolSignal` — drift +1 (bunched arrivals, or a contended
+ * counter RMW on the bottom rung: the current protocol is
+ * under-provisioned), drift -1 (straggler-dominated: over-provisioned)
+ * — and asks the policy for `next_protocol`. Binary `SwitchPolicy`
+ * policies embed through `SelectAdapter` with their historical
+ * observation mapping (a central-mode episode feeds
+ * `on_tts_acquire(bunched)`, a top-rung episode feeds
+ * `on_queue_acquire(skewed)`), so AlwaysSwitch, Competitive3 and
+ * Hysteresis apply to the two-protocol set bit-compatibly, with an
+ * episode as the unit of observation. N-protocol sets take a
+ * `SelectPolicy` (e.g. CalibratedLadderPolicy, whose measured
+ * per-rung episode costs rank protocols the drift signal alone
+ * cannot).
  *
  * Calibration (core/cost_model.hpp): with `ReactiveBarrierParams::
  * calibrate` the bunched/contended classification thresholds are
@@ -64,21 +77,25 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <tuple>
 
 #include "barrier/barrier_concepts.hpp"
 #include "barrier/central_barrier.hpp"
 #include "barrier/combining_tree_barrier.hpp"
 #include "core/cost_model.hpp"
 #include "core/policy.hpp"
+#include "core/protocol_set.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
+#include "platform/thread_slots.hpp"
 
 namespace reactive {
 
 /// Tunables for the reactive barrier's episode monitor.
 struct ReactiveBarrierParams {
-    /// Arrival fan-in of the tree protocol.
+    /// Arrival fan-in of tree-shaped slot protocols.
     std::uint32_t fan_in = 4;
     /// An episode whose arrival spread is below participants * this is
     /// "bunched": the central counter would serialize the arrivals.
@@ -107,26 +124,77 @@ struct ReactiveBarrierParams {
     /// A completer RMW at or above this many uncontended RMWs observed
     /// directory queueing (8 * 50 = the static 400).
     std::uint32_t contended_rmw_multiple = 8;
+    /**
+     * Traffic-free monitoring: drop the arrival-spread machinery (the
+     * first-arrival stamp CAS, the min-combine up the tree) and drive
+     * the policy purely from quantities the completer owns anyway —
+     * the episode *period* (difference of consecutive consensus
+     * timestamps; the true wall cost per episode, and unlike the
+     * spread directly comparable across protocols) as the cost
+     * sample, completer-identity streaks for skew detection (a
+     * straggler completes every episode it dominates; in-consensus
+     * state only), and the completer's own arrival latency (central's
+     * directory-queueing signal; the designated completer's
+     * straggler-wait signal). Slots are then constructed with signal
+     * tracking off, so the reactive barrier executes the *identical
+     * shared-memory operations* as the static protocol it is parked
+     * in — monitoring cost measured in the fig_barrier tables drops
+     * from up to ~40% of a short bunched episode to zero. Default off:
+     * the spread path is the thesis-style signal and keeps the
+     * two-protocol tables bit-compatible.
+     */
+    bool free_monitoring = false;
+    /// Consecutive episodes completed by the same participant that
+    /// classify the regime as straggler-dominated (free monitoring).
+    std::uint32_t skew_completer_streak = 3;
 };
 
+/// The stock barrier protocol sets, in scalability order.
+template <Platform P>
+using CentralTreeBarrierSet =
+    ProtocolSet<CentralBarrier<P>, CombiningTreeBarrier<P>>;
+
 /**
- * Reactive barrier selecting between the centralized and combining-tree
- * protocols between episodes.
+ * Reactive barrier selecting among the slots of a barrier ProtocolSet
+ * between episodes.
  *
  * @tparam P      Platform model.
- * @tparam Policy switching policy (Section 3.4); shared with the
- *                reactive mutex/rwlock via the SwitchPolicy concept.
+ * @tparam Policy switching policy: any N-ary `SelectPolicy`, or — for
+ *                two-protocol sets — any binary `SwitchPolicy`
+ *                (embedded via SelectAdapter; shared with the reactive
+ *                mutex/rwlock).
+ * @tparam Set    `ProtocolSet` of BarrierProtocolSlot members, ordered
+ *                by scalability (index 0 = low-contention protocol).
  */
-template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Set = CentralTreeBarrierSet<P>>
 class ReactiveBarrier {
   public:
-    /// Protocol executing the current episode (exact, not a hint).
-    enum class Mode : std::uint32_t { kCentral = 0, kTree = 1 };
+    /// The select-interface view of the policy parameter.
+    using Select = SelectFor<Policy>;
+    /// Number of protocols in the set.
+    static constexpr std::uint32_t kProtocols = Set::kCount;
 
-    /// Per-participant state; reuse the same Node across episodes.
+    static_assert(SelectPolicy<Select>);
+    static_assert(SelectPolicy<Policy> || kProtocols == 2,
+                  "binary SwitchPolicy policies embed as the two-protocol "
+                  "specialization; N-protocol sets need a SelectPolicy");
+
+    /**
+     * Protocol executing the current episode (exact, not a hint). The
+     * mode *is* the protocol index; the enumerators name the stock
+     * sets' rungs for readability.
+     */
+    enum class Mode : std::uint32_t {
+        kCentral = 0,
+        kTree = 1,
+        kDissemination = 2,
+    };
+
+    /// Per-participant state (one sub-node per slot); reuse the same
+    /// Node across episodes.
     struct Node {
-        typename CentralBarrier<P>::Node central;
-        typename CombiningTreeBarrier<P>::Node tree;
+        typename Set::Nodes nodes;
     };
 
     explicit ReactiveBarrier(std::uint32_t participants)
@@ -136,57 +204,73 @@ class ReactiveBarrier {
 
     ReactiveBarrier(std::uint32_t participants, ReactiveBarrierParams params,
                     Policy policy = Policy{})
-        : central_(participants, /*track_first_arrival=*/true),
-          tree_(participants, params.fan_in, /*track_arrival_spread=*/true),
+        : set_(participants,
+               BarrierSlotOptions{/*track_signals=*/!params.free_monitoring,
+                                  /*fan_in=*/params.fan_in}),
           participants_(participants),
           params_(params),
           rmw_floor_(params.bunched_cycles_per_arrival /
                      (params.bunched_rmw_multiple ? params.bunched_rmw_multiple
                                                   : 1)),
-          policy_(policy)
+          select_(std::move(policy))
     {
-        // Initial protocol: central (the low-contention choice, as the
+        // Initial protocol: index 0 (the low-contention choice, as the
         // reactive lock starts in TTS mode, Figure 3.27).
-        mode_->store(static_cast<std::uint32_t>(Mode::kCentral),
-                     std::memory_order_relaxed);
+        mode_->store(0, std::memory_order_relaxed);
+        // Runtime-sized ladder policies are sized to this set here (in
+        // every build mode — a 2-rung policy over a 3-protocol set
+        // would silently never reach the top rung, and an oversized
+        // one would burn switching evidence on rungs that do not
+        // exist). Explicitly configured sizes equal to kProtocols are
+        // untouched, including their Params.
+        if constexpr (requires { select_.resize_protocols(kProtocols); })
+            select_.resize_protocols(kProtocols);
     }
 
     // ---- Barrier interface -------------------------------------------
 
     void arrive(Node& n)
     {
-        if (mode() == Mode::kCentral) {
-            const auto a = central_.arrive_only(n.central);
-            if (!a.last) {
-                central_.wait_episode(a.episode_sense);
+        set_.dispatch(protocol_index(), [&](auto& proto, auto index) {
+            auto& pn = std::get<index.value>(n.nodes);
+            const BarrierEpisode ep = proto.arrive_only(pn);
+            if (!ep.last) {
+                proto.wait_episode(pn);
                 return;
             }
-            episode_consensus(Mode::kCentral,
-                              central_.episode_first_arrival(),
-                              a.arrive_cycles);
-            central_.release_episode(a.episode_sense);
-        } else {
-            if (!tree_.arrive_only(n.tree)) {
-                tree_.wait_episode(n.tree);
-                return;
-            }
-            episode_consensus(Mode::kTree, n.tree.first_arrival,
-                              n.tree.arrive_cycles);
-            tree_.release_episode(n.tree);
-        }
+            episode_consensus(static_cast<std::uint32_t>(index.value), ep,
+                              &n);
+            proto.release_episode(pn);
+        });
+    }
+
+    /// std::barrier-shaped arrival: the participant's persistent Node
+    /// lives in a thread-local slot keyed by this barrier's unique
+    /// instance token (platform/thread_slots.hpp — the address would
+    /// hand a successor barrier at a reused address the predecessor's
+    /// stale nodes), so one participant must equal one thread for the
+    /// barrier's whole lifetime. arrive() with an explicit Node
+    /// remains the primary interface (and the only correct one for
+    /// simulated fibers, which share their host thread's slots).
+    void arrive_and_wait()
+    {
+        arrive(*ThreadNodeSlots<Node>::claim(facade_key_));
     }
 
     std::uint32_t participants() const { return participants_; }
 
     // ---- monitoring (tests, experiments) -----------------------------
 
-    /// Protocol of the upcoming episode. Exact for participants (they
-    /// read it after acquiring the previous release); racy inspection
-    /// for everyone else.
-    Mode mode() const
+    /// Protocol index of the upcoming episode. Exact for participants
+    /// (they read it after acquiring the previous release); racy
+    /// inspection for everyone else.
+    std::uint32_t protocol_index() const
     {
-        return static_cast<Mode>(mode_->load(std::memory_order_relaxed));
+        return mode_->load(std::memory_order_relaxed);
     }
+
+    /// protocol_index() under the stock sets' conventional names.
+    Mode mode() const { return static_cast<Mode>(protocol_index()); }
 
     /// Number of completed protocol changes. Race-free for any
     /// *participant* between its own arrivals: no episode can complete
@@ -194,8 +278,23 @@ class ReactiveBarrier {
     /// arrives again. Racy inspection for non-participants.
     std::uint64_t protocol_changes() const { return protocol_changes_; }
 
-    /// Policy state access (in-consensus callers only).
-    Policy& policy() { return policy_; }
+    /// Policy state access (in-consensus callers only). Returns the
+    /// policy as passed in (binary policies are unwrapped from their
+    /// adapter).
+    Policy& policy()
+    {
+        if constexpr (SelectPolicy<Policy>)
+            return select_;
+        else
+            return select_.underlying();
+    }
+
+    /// Direct slot access (tests, experiments).
+    template <std::size_t I>
+    auto& slot()
+    {
+        return set_.template get<I>();
+    }
 
     /// Measured uncontended-RMW floor driving the calibrated
     /// thresholds (in-consensus callers and tests).
@@ -204,33 +303,32 @@ class ReactiveBarrier {
   private:
     /// Calibrating policies additionally receive each episode's spread
     /// as a cost sample (see episode_consensus).
-    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+    static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
 
     /**
      * The completer's in-consensus step, run after its arrival and
-     * before the release: classify the episode, feed the policy, and
-     * perform any protocol change. Every other participant is waiting
-     * inside the current protocol, so everything here is race-free; the
-     * mode store is published by the release that follows.
+     * before the release: classify the episode, consult the policy,
+     * and perform any protocol change. Every other participant is
+     * waiting inside the current protocol, so everything here is
+     * race-free; the mode store is published by the release that
+     * follows.
      */
-    void episode_consensus(Mode m, std::uint64_t first_arrival,
-                           std::uint64_t arrive_cycles)
+    void episode_consensus(std::uint32_t m, const BarrierEpisode& ep,
+                           const void* completer)
     {
         if (participants_ < 2)
             return;  // a 1-participant barrier has no contention axis
         const std::uint64_t end = P::now();
-        const std::uint64_t spread =
-            end > first_arrival ? end - first_arrival : 0;
         // Classification thresholds: static cycle constants, or (with
         // calibrate) re-derived each episode from the measured RMW
         // floor — the episode-spread distribution's natural unit is
         // "uncontended counter RMWs", which the completer measures for
-        // free in central mode.
+        // free on the bottom rung.
         std::uint64_t per_arrival = params_.bunched_cycles_per_arrival;
         std::uint64_t contended_rmw = params_.contended_rmw_cycles;
         if (params_.calibrate) {
-            if (m == Mode::kCentral)
-                sample_rmw_floor(arrive_cycles);
+            if (m == 0)
+                sample_rmw_floor(ep.arrive_cycles);
             per_arrival = static_cast<std::uint64_t>(
                               params_.bunched_rmw_multiple) *
                           rmw_floor_;
@@ -239,53 +337,120 @@ class ReactiveBarrier {
                             rmw_floor_;
         }
         const std::uint64_t bunched_threshold = per_arrival * participants_;
-        bool switch_now;
-        if (m == Mode::kCentral) {
-            const bool bunched = spread <= bunched_threshold ||
-                                 arrive_cycles >= contended_rmw;
-            // Calibrating policies also receive the episode spread as
-            // this episode's cost sample: under a steady workload the
-            // spread is the protocol-dependent part of the episode's
-            // critical path, so comparing spreads across modes is the
-            // barrier analogue of comparing acquisition latencies.
-            if constexpr (kCalibrating)
-                switch_now = policy_.on_tts_acquire(bunched, spread);
-            else
-                switch_now = policy_.on_tts_acquire(bunched);
+        // Drift along the set's scalability order: the bottom rung's
+        // under-provisioning signals are bunched arrivals or direct
+        // directory queueing at its counter; higher rungs are
+        // over-provisioned when a straggler dominates (skewed) and
+        // under-provisioned when arrivals stay bunched and a more
+        // scalable rung exists above.
+        int drift = 0;
+        std::uint64_t sample = 0;
+        if (params_.free_monitoring) {
+            // Traffic-free signals (see ReactiveBarrierParams): the
+            // straggler regime is read off completer-identity streaks
+            // — the dominated episodes are completed by the straggler
+            // itself, every time — or, for a designated completer, off
+            // its own arrival latency (it sat inside its rounds
+            // waiting out the straggle window). The cost sample is the
+            // episode period: the difference of consecutive consensus
+            // timestamps, i.e. the true wall cost of an episode, which
+            // unlike the spread needs no stamps and compares across
+            // protocols.
+            bool skewed;
+            bool rotating = false;
+            if (ep.fixed_completer) {
+                // The designated completer's own rounds wait out any
+                // straggler it depends on, so its arrival latency is
+                // the skew signal. Known blind spot: if the straggler
+                // *is* the designated completer (ids are assigned by
+                // first-arrival race, so probability ~1/P per run),
+                // its own rounds finish instantly and skew goes
+                // undetected — the barrier then idles in this rung
+                // through the straggler regime, paying the rung's
+                // O(log P) structure (a small constant against the
+                // straggle window) until the regime changes.
+                skewed = ep.arrive_cycles >=
+                         bunched_threshold * params_.skew_factor;
+            } else {
+                completer_streak_ =
+                    completer == prev_completer_ ? completer_streak_ + 1 : 1;
+                prev_completer_ = completer;
+                skewed = completer_streak_ >= params_.skew_completer_streak;
+                // A completer that changed is weak bunched evidence
+                // (arrivals raced); it gates the up-drift so a policy
+                // that commits on drift alone cannot ratchet to the
+                // top rung through signal-free episodes. Measured
+                // policies (the intended pairing for free monitoring)
+                // treat drift only as probe scheduling either way.
+                rotating = completer_streak_ == 1;
+            }
+            if (m == 0)
+                drift = ep.arrive_cycles >= contended_rmw ? +1 : 0;
+            else if (skewed)
+                drift = -1;
+            else if (rotating && m + 1 < kProtocols)
+                drift = +1;
+            sample = prev_end_ != 0 && end > prev_end_ ? end - prev_end_ : 0;
+            prev_end_ = end;
         } else {
-            const bool skewed =
-                spread >= bunched_threshold * params_.skew_factor;
-            if constexpr (kCalibrating)
-                switch_now = policy_.on_queue_acquire(skewed, spread);
-            else
-                switch_now = policy_.on_queue_acquire(skewed);
+            // Thesis-style spread signals: the gap between the
+            // episode's first arrival (stamped by the slots) and its
+            // completion. Calibrating policies also receive the spread
+            // as this episode's cost sample: under a steady workload
+            // the spread is the protocol-dependent part of the
+            // episode's critical path.
+            const std::uint64_t spread =
+                end > ep.first_arrival ? end - ep.first_arrival : 0;
+            const bool bunched = spread <= bunched_threshold;
+            if (m == 0) {
+                drift = (bunched || ep.arrive_cycles >= contended_rmw) ? +1
+                                                                       : 0;
+            } else {
+                const bool skewed =
+                    spread >= bunched_threshold * params_.skew_factor;
+                if (skewed)
+                    drift = -1;
+                else if (bunched && m + 1 < kProtocols)
+                    drift = +1;
+            }
+            sample = spread;
         }
-        if (switch_now) {
-            const Mode next =
-                m == Mode::kCentral ? Mode::kTree : Mode::kCentral;
-            mode_->store(static_cast<std::uint32_t>(next),
-                         std::memory_order_relaxed);
+        const ProtocolSignal sig{m, drift};
+        std::uint32_t next;
+        if constexpr (kCalibrating) {
+            if (params_.free_monitoring && sample == 0)
+                next = select_.next_protocol(sig);  // no period yet
+            else
+                next = select_.next_protocol(sig, sample);
+        } else {
+            next = select_.next_protocol(sig);
+        }
+        if (next >= kProtocols)
+            next = m;  // defensive: a policy bug must not wedge the set
+        if (next != m) {
+            mode_->store(next, std::memory_order_relaxed);
             ++protocol_changes_;
-            policy_.on_switch();
+            select_.on_switch();
             // The completer's measurable switching span — from the
             // consensus stamp to here — covers the classification,
             // policy, and mode-store work. The systemic remainder of a
             // barrier change (the next episode running the other
             // protocol cold) is excluded by the policy's
             // first-sample-after-switch discard, and the policy's
-            // switch-cost multiplier scales the span to a disruption
+            // switch-cost accounting scales the span to a disruption
             // estimate, exactly as for the locks.
             if constexpr (kCalibrating)
-                policy_.on_switch_cycles(P::now() - end);
+                select_.on_switch_cycles(P::now() - end);
         }
     }
 
-    /// Decaying minimum of the completer's central-counter RMW latency:
-    /// drops to a lower sample immediately, grows toward higher samples
-    /// by ~1/16 per central episode (1/4 for the first few, so a
-    /// mis-seeded floor heals within a handful of episodes). Tracks the
-    /// *uncontended* RMW cost because the min over any window that
-    /// contains one quiet arrival is the quiet one.
+    /// Decaying minimum of the completer's bottom-rung counter-RMW
+    /// latency: drops to a lower sample immediately, grows toward
+    /// higher samples by ~1/16 per bottom-rung episode (1/4 for the
+    /// first few, so a mis-seeded floor heals within a handful of
+    /// episodes). Tracks the *uncontended* RMW cost because the min
+    /// over any window that contains one quiet arrival is the quiet
+    /// one.
     void sample_rmw_floor(std::uint64_t sample)
     {
         const std::uint32_t shift = floor_samples_ < 8 ? 2 : 4;
@@ -296,8 +461,7 @@ class ReactiveBarrier {
         rmw_floor_ = sample < grown ? sample : grown;
     }
 
-    CentralBarrier<P> central_;
-    CombiningTreeBarrier<P> tree_;
+    Set set_;
     const std::uint32_t participants_;
 
     // The mode word is written once per protocol change and read once
@@ -305,10 +469,15 @@ class ReactiveBarrier {
     CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
 
     ReactiveBarrierParams params_;
+    const std::uint64_t facade_key_ = next_object_key();
     std::uint64_t rmw_floor_;             // mutated in-consensus only
     std::uint32_t floor_samples_ = 0;     // mutated in-consensus only
-    Policy policy_;                       // mutated in-consensus only
+    Select select_;                       // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
+    // Free-monitoring state (mutated in-consensus only).
+    std::uint64_t prev_end_ = 0;
+    const void* prev_completer_ = nullptr;
+    std::uint32_t completer_streak_ = 0;
 };
 
 }  // namespace reactive

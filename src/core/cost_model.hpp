@@ -54,6 +54,60 @@
 
 namespace reactive {
 
+/**
+ * One EWMA'd cost statistic over in-consensus cycle samples — the unit
+ * of measurement shared by `CostEstimator` (fixed two-protocol latency
+ * classes) and the N-protocol selection policies (one account per
+ * protocol index, core/protocol_set.hpp).
+ *
+ * Gain is 2^-shift with a *fast start*: the first few samples use gain
+ * 1/2 so a wildly wrong seed is corrected within a handful of
+ * observations instead of lingering for dozens. Updates move
+ * monotonically toward the sample and converge to an exact constant
+ * input (a +-1 nudge covers the sub-2^shift gap).
+ */
+struct EwmaStat {
+    std::uint64_t value = 0;
+    std::uint32_t count = 0;  ///< saturating; drives the fast start
+
+    explicit EwmaStat(std::uint64_t seed) : value(seed) {}
+
+    void update(std::uint64_t sample, std::uint32_t shift)
+    {
+        // First samples use gain 1/2; settle to 2^-shift. A wrong
+        // seed carries weight (1/2)^4 * (1 - 2^-shift)^k after the
+        // fast start — negligible after a handful of observations.
+        const std::uint32_t s = count < kFastStartSamples ? 1 : shift;
+        if (count < kFastStartSamples)
+            ++count;
+        const std::int64_t diff = static_cast<std::int64_t>(sample) -
+                                  static_cast<std::int64_t>(value);
+        std::int64_t step = diff >> s;
+        if (step == 0 && diff != 0)
+            step = diff > 0 ? 1 : -1;  // close the sub-2^shift gap
+        value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(value) + step);
+    }
+
+    /// update() for statistics whose seed is a placeholder rather than
+    /// a measurement: the first observation *replaces* the seed
+    /// outright (observations are rare for these — switch costs, a
+    /// probed rung's first visit — and a wrong seed would otherwise
+    /// bias decisions for the dozens of samples an EWMA needs to flush
+    /// it).
+    void observe(std::uint64_t sample, std::uint32_t shift)
+    {
+        if (count == 0) {
+            value = sample;
+            count = 1;
+            return;
+        }
+        update(sample, shift);
+    }
+
+    static constexpr std::uint32_t kFastStartSamples = 4;
+};
+
 // clang-format off
 /**
  * Refinement of SwitchPolicy for policies that consume runtime cost
@@ -204,16 +258,12 @@ class alignas(kCacheLineSize) CostEstimator {
     }
 
     /// One measured protocol change. The first sample *replaces* the
-    /// seed: switches are rare, a wrong seed would otherwise bias the
-    /// threshold for the dozens of changes an EWMA needs to flush it.
+    /// seed (EwmaStat::observe): switches are rare, a wrong seed would
+    /// otherwise bias the threshold for the dozens of changes an EWMA
+    /// needs to flush it.
     void sample_switch(std::uint64_t cycles)
     {
-        if (switch_one_way_.count == 0) {
-            switch_one_way_.value = cycles;
-            switch_one_way_.count = 1;
-            return;
-        }
-        switch_one_way_.update(cycles, params_.ewma_shift);
+        switch_one_way_.observe(cycles, params_.ewma_shift);
     }
 
     // ---- derived policy constants ------------------------------------
@@ -267,32 +317,7 @@ class alignas(kCacheLineSize) CostEstimator {
     }
 
   private:
-    struct Stat {
-        std::uint64_t value = 0;
-        std::uint32_t count = 0;  ///< saturating; drives the fast start
-
-        explicit Stat(std::uint64_t seed) : value(seed) {}
-
-        void update(std::uint64_t sample, std::uint32_t shift)
-        {
-            // First samples use gain 1/2; settle to 2^-shift. A wrong
-            // seed carries weight (1/2)^4 * (1 - 2^-shift)^k after the
-            // fast start — negligible after a handful of observations.
-            const std::uint32_t s = count < kFastStartSamples ? 1 : shift;
-            if (count < kFastStartSamples)
-                ++count;
-            const std::int64_t diff =
-                static_cast<std::int64_t>(sample) -
-                static_cast<std::int64_t>(value);
-            std::int64_t step = diff >> s;
-            if (step == 0 && diff != 0)
-                step = diff > 0 ? 1 : -1;  // close the sub-2^shift gap
-            value = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(value) + step);
-        }
-
-        static constexpr std::uint32_t kFastStartSamples = 4;
-    };
+    using Stat = EwmaStat;
 
     static std::uint64_t diff_or_one(std::uint64_t a, std::uint64_t b)
     {

@@ -31,6 +31,15 @@
  *    counts and empty-queue observations are collected in code that was
  *    already spinning, and fed to a pluggable switching policy
  *    (Section 3.4) whose state is only touched in-consensus.
+ *
+ * Policy interface: decisions flow through the N-protocol selection
+ * framework (core/protocol_set.hpp) — the holder builds a
+ * `ProtocolSignal` (mode index + contention drift) and asks the policy
+ * for `next_protocol`. Binary `SwitchPolicy` policies embed through
+ * `SelectAdapter` with the identical historical call sequence
+ * (`on_tts_acquire(contended)` / `on_queue_acquire(empty)`), so their
+ * decisions are bit-compatible with the pre-ProtocolSet lock; `Mode`
+ * values are the protocol indices of the lock's two-slot set.
  */
 #pragma once
 
@@ -41,6 +50,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/policy.hpp"
+#include "core/protocol_set.hpp"
 #include "core/reactive_queue.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
@@ -69,12 +79,21 @@ struct ReactiveLockParams {
  * `ReactiveMutex` wraps this into an RAII interface.
  *
  * @tparam P      Platform model.
- * @tparam Policy switching policy (Section 3.4).
+ * @tparam Policy switching policy (Section 3.4): a binary SwitchPolicy
+ *                or a two-protocol SelectPolicy.
  */
-template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy>
 class ReactiveLock {
   public:
-    /// Which protocol currently services requests (the hint variable).
+    /// The select-interface view of the policy parameter.
+    using Select = SelectFor<Policy>;
+    /// The lock's protocol set is fixed: {TTS, MCS queue}.
+    static constexpr std::uint32_t kProtocols = 2;
+
+    static_assert(SelectPolicy<Select>);
+
+    /// Protocol index currently servicing requests (the hint
+    /// variable), under the set's conventional names.
     enum class Mode : std::uint32_t { kTts = 0, kQueue = 1 };
 
     /// Release token: protocol held plus any pending protocol change.
@@ -91,7 +110,9 @@ class ReactiveLock {
     ReactiveLock() : ReactiveLock(ReactiveLockParams{}, Policy{}) {}
 
     explicit ReactiveLock(ReactiveLockParams params, Policy policy = Policy{})
-        : queue_(/*initially_valid=*/false), params_(params), policy_(policy)
+        : queue_(/*initially_valid=*/false),
+          params_(params),
+          select_(std::move(policy))
     {
         // Initial state per Figure 3.27: TTS valid and free, queue
         // invalid, mode = TTS.
@@ -115,8 +136,8 @@ class ReactiveLock {
         // in-consensus; no timestamp, no shared write).
         if (params_.optimistic_tts &&
             tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree) {
-            if constexpr (FastPathAwarePolicy<Policy>)
-                policy_.on_tts_fast_acquire();
+            if constexpr (FastPathAwareSelect<Select>)
+                select_.on_tts_fast_acquire();
             return ReleaseMode::kTts;
         }
         // Dispatch loop: each protocol attempt either succeeds or
@@ -135,6 +156,29 @@ class ReactiveLock {
                 m = Mode::kTts;
             }
         }
+    }
+
+    /**
+     * Single non-blocking acquisition attempt: the optimistic test&set,
+     * then — if the hint says queue mode — a tail CAS that wins only an
+     * empty valid queue. Neither path performs monitoring (a try is the
+     * fast path's sibling: its outcome says nothing reliable about
+     * contention), so like the optimistic fast path it leaves policy
+     * streaks untouched; a fast-path-aware policy gets the same
+     * won-here notification. Failure may be spurious, as Lockable
+     * permits.
+     */
+    std::optional<ReleaseMode> try_acquire(Node& node)
+    {
+        if (tts_lock_.load(std::memory_order_relaxed) == kFree &&
+            tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree) {
+            if constexpr (FastPathAwareSelect<Select>)
+                select_.on_tts_fast_acquire();
+            return ReleaseMode::kTts;
+        }
+        if (mode() == Mode::kQueue && queue_.try_acquire(node))
+            return ReleaseMode::kQueue;
+        return std::nullopt;
     }
 
     /// Releases the lock, performing any pending protocol change.
@@ -156,28 +200,43 @@ class ReactiveLock {
         }
     }
 
-    /// Current protocol hint (tests and monitoring).
-    Mode mode() const
+    /// Current protocol-index hint (tests and monitoring).
+    std::uint32_t protocol_index() const
     {
-        return static_cast<Mode>(mode_.value.load(std::memory_order_relaxed));
+        return mode_.value.load(std::memory_order_relaxed);
     }
+
+    /// protocol_index() under the set's conventional names.
+    Mode mode() const { return static_cast<Mode>(protocol_index()); }
 
     /// Number of completed protocol changes (tests and experiments).
     std::uint64_t protocol_changes() const { return protocol_changes_; }
 
-    /// Policy state access (in-consensus callers only).
-    Policy& policy() { return policy_; }
+    /// Policy state access (in-consensus callers only). Returns the
+    /// policy as passed in (binary policies are unwrapped from their
+    /// adapter).
+    Policy& policy()
+    {
+        if constexpr (SelectPolicy<Policy>)
+            return select_;
+        else
+            return select_.underlying();
+    }
 
   private:
     static constexpr std::uint32_t kFree = 0;
     static constexpr std::uint32_t kBusy = 1;
+    static constexpr std::uint32_t kTtsIndex =
+        static_cast<std::uint32_t>(Mode::kTts);
+    static constexpr std::uint32_t kQueueIndex =
+        static_cast<std::uint32_t>(Mode::kQueue);
 
     /// Calibrating policies (core/cost_model.hpp) receive each
     /// slow-path acquisition's measured latency and each switch's
     /// measured duration; for plain policies no timestamp is ever
     /// taken. Either way the samples flow only through policy state
     /// (in-consensus, non-shared), never through shared memory.
-    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+    static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
 
     /// Bookkeeping common to every successful TTS acquisition; the
     /// caller holds the lock, so policy state is safe to touch. A
@@ -188,19 +247,20 @@ class ReactiveLock {
     /// estimator's residuals (see cost_model.hpp).
     ReleaseMode tts_acquired(bool contended, bool spun, std::uint64_t start)
     {
-        bool switch_now;
+        const ProtocolSignal sig{kTtsIndex, contended ? +1 : 0};
+        std::uint32_t next;
         if constexpr (kCalibrating) {
             if (contended || !spun)
-                switch_now =
-                    policy_.on_tts_acquire(contended, P::now() - start);
+                next = select_.next_protocol(sig, P::now() - start);
             else
-                switch_now = policy_.on_tts_acquire(contended);
+                next = select_.next_protocol(sig);
         } else {
             (void)spun;
             (void)start;
-            switch_now = policy_.on_tts_acquire(contended);
+            next = select_.next_protocol(sig);
         }
-        return switch_now ? ReleaseMode::kTtsToQueue : ReleaseMode::kTts;
+        return next != kTtsIndex ? ReleaseMode::kTtsToQueue
+                                 : ReleaseMode::kTts;
     }
 
     /// Figure 3.28 acquire_tts: spin with backoff, count failed
@@ -232,12 +292,14 @@ class ReactiveLock {
     /// Queue-side twin of tts_acquired.
     ReleaseMode queue_acquired(bool empty, std::uint64_t start)
     {
-        bool switch_now;
+        const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
+        std::uint32_t next;
         if constexpr (kCalibrating)
-            switch_now = policy_.on_queue_acquire(empty, P::now() - start);
+            next = select_.next_protocol(sig, P::now() - start);
         else
-            switch_now = policy_.on_queue_acquire(empty);
-        return switch_now ? ReleaseMode::kQueueToTts : ReleaseMode::kQueue;
+            next = select_.next_protocol(sig);
+        return next != kQueueIndex ? ReleaseMode::kQueueToTts
+                                   : ReleaseMode::kQueue;
     }
 
     /// Figure 3.28 acquire_queue; nullopt when the queue protocol was
@@ -272,9 +334,9 @@ class ReactiveLock {
         mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
                           std::memory_order_release);
         ++protocol_changes_;
-        policy_.on_switch();
+        select_.on_switch();
         if constexpr (kCalibrating)
-            policy_.on_switch_cycles(P::now() - start);
+            select_.on_switch_cycles(P::now() - start);
         queue_.release(node);
     }
 
@@ -287,13 +349,13 @@ class ReactiveLock {
         mode_.value.store(static_cast<std::uint32_t>(Mode::kTts),
                           std::memory_order_release);
         ++protocol_changes_;
-        policy_.on_switch();
+        select_.on_switch();
         queue_.invalidate(&node);
         // Still in consensus until the TTS word is freed below; the
         // measured span covers the queue dismantling (the expensive
         // half of this direction's change).
         if constexpr (kCalibrating)
-            policy_.on_switch_cycles(P::now() - start);
+            select_.on_switch_cycles(P::now() - start);
         release_tts();
     }
 
@@ -305,7 +367,7 @@ class ReactiveLock {
     ReactiveQueue<P> queue_;
 
     ReactiveLockParams params_;
-    Policy policy_;                        // mutated in-consensus only
+    Select select_;                        // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;   // mutated in-consensus only
 };
 

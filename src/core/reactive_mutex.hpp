@@ -1,34 +1,43 @@
 /**
  * @file
- * RAII facade over the reactive spin lock.
+ * RAII and std-compatibility facades over the reactive spin lock.
  *
  * The thesis emphasizes that reactive algorithms are drop-in library
  * replacements: "although the protocol and waiting mechanism in use may
  * change dynamically, the interface to the application program remains
  * constant" (Section 1.1). `ReactiveMutex` provides the conventional
- * lock()/unlock() and scoped-guard interface on top of
- * `ReactiveLock::acquire/release`, stashing the queue node and release
- * token in the guard.
+ * scoped-guard interface on top of `ReactiveLock::acquire/release`,
+ * plus the std Lockable trio (`lock()/try_lock()/unlock()`) so it works
+ * with `std::lock_guard`, `std::unique_lock` and `std::scoped_lock`
+ * out of the box — the unpaired node those interfaces cannot carry
+ * lives in a thread-local slot keyed by the mutex address
+ * (platform/thread_slots.hpp).
  */
 #pragma once
 
+#include <cstdint>
+
 #include "core/reactive_lock.hpp"
+#include "platform/thread_slots.hpp"
 
 namespace reactive {
 
 /**
- * Mutex-shaped wrapper. Prefer `ReactiveMutex::Guard` (scoped); the
- * lock()/unlock() pair is provided for code that cannot scope, at the
- * cost of one slot of per-mutex state for the unpaired node.
+ * Mutex-shaped wrapper. Prefer `ReactiveMutex::Guard` (scoped, node on
+ * the caller's stack); the std Lockable interface is provided for code
+ * written against `std::lock_guard`/`std::unique_lock`, at the cost of
+ * a thread-local slot lookup per operation. As with `std::mutex`,
+ * lock() is non-reentrant and unlock() must come from the locking
+ * thread.
  */
-template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy>
 class ReactiveMutex {
   public:
     using Lock = ReactiveLock<P, Policy>;
 
     ReactiveMutex() = default;
     explicit ReactiveMutex(ReactiveLockParams params, Policy policy = Policy{})
-        : lock_(params, policy)
+        : lock_(params, std::move(policy))
     {
     }
 
@@ -50,10 +59,54 @@ class ReactiveMutex {
         typename Lock::ReleaseMode release_mode_;
     };
 
-    /// Underlying reactive lock (monitoring, tests).
-    Lock& lock() { return lock_; }
+    // ---- std Lockable interface --------------------------------------
+
+    void lock()
+    {
+        Held* h = Slots::claim(key());
+        h->rm = lock_.acquire(h->node);
+    }
+
+    bool try_lock()
+    {
+        Held* h = Slots::claim(key());
+        if (auto rm = lock_.try_acquire(h->node)) {
+            h->rm = *rm;
+            return true;
+        }
+        Slots::release(key());
+        return false;
+    }
+
+    void unlock()
+    {
+        Held* h = Slots::claim(key());
+        lock_.release(h->node, h->rm);
+        Slots::release(key());
+    }
+
+    /// Underlying reactive lock (monitoring, tests). Replaces the
+    /// pre-std-facade `lock()` accessor, whose name the Lockable
+    /// interface now owns.
+    Lock& lock_object() { return lock_; }
 
   private:
+    /// Unpaired-acquisition state: the queue node plus the release
+    /// token, in a thread-local slot while held.
+    struct Held {
+        typename Lock::Node node;
+        typename Lock::ReleaseMode rm{};
+    };
+    using Slots = ThreadNodeSlots<Held>;
+
+    /// Slots are released at every unlock, so the address is a valid
+    /// key (see thread_slots.hpp on key choice).
+    std::uint64_t key() const
+    {
+        return static_cast<std::uint64_t>(
+            reinterpret_cast<std::uintptr_t>(this));
+    }
+
     Lock lock_;
 };
 
@@ -62,7 +115,7 @@ class ReactiveMutex {
  * written against the plain lock interface (benchmark harnesses,
  * application kernels). The release token rides inside the Node.
  */
-template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy>
 class ReactiveNodeLock {
   public:
     using Inner = ReactiveLock<P, Policy>;
@@ -74,7 +127,7 @@ class ReactiveNodeLock {
 
     ReactiveNodeLock() = default;
     explicit ReactiveNodeLock(ReactiveLockParams params, Policy policy = Policy{})
-        : inner_(params, policy)
+        : inner_(params, std::move(policy))
     {
     }
 

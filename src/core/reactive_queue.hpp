@@ -81,6 +81,22 @@ class ReactiveQueue {
     }
 
     /**
+     * Non-blocking acquisition attempt: wins only an empty *valid*
+     * queue (tail == nullptr); a busy or invalid queue fails without
+     * enqueuing. Backs the std try_lock facade — a failure may be
+     * spurious under contention, which Lockable permits.
+     */
+    bool try_acquire(Node& node)
+    {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.status.store(kWaiting, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        return tail_.compare_exchange_strong(expected, &node,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+    }
+
+    /**
      * Releases the queue lock held with @p node (fetch&store-only MCS
      * release with usurper repair). Handles the reactive race where the
      * usurper retires the protocol during the repair.

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Thread-local per-object node slots backing the std-compatibility
+ * facades (ReactiveMutex::lock/unlock, ReactiveSharedMutex,
+ * ReactiveBarrier::arrive_and_wait).
+ *
+ * The node-passing interfaces of the reactive primitives keep waiter
+ * state on the caller's stack — the design the protocols' local-spin
+ * properties depend on. The std lockable/barrier interfaces have no
+ * node parameter, so a facade must materialize the node somewhere that
+ * (a) is unique per (thread, object) pair — two threads acquiring the
+ * same mutex, or one thread holding two mutexes, must not share a
+ * node — and (b) survives from the acquire-shaped call to the
+ * release-shaped call. A thread-local slot table keyed by object
+ * address provides exactly that: claim() returns this thread's node
+ * for the object (allocating on first use, reusing released slots
+ * thereafter), release() frees the slot while keeping the node memory
+ * for reuse.
+ *
+ * Scope and cost: lookup is a linear scan of this thread's slots —
+ * a handful of entries in practice (one per simultaneously held
+ * object, plus one persistent entry per barrier this thread
+ * participates in). The facades are convenience interfaces; code that
+ * cares about the last nanosecond uses the node-passing API directly.
+ * Like the std primitives they mimic, the facades are non-reentrant
+ * per object, and the acquire- and release-shaped calls must come from
+ * the same thread (a claim is invisible to other threads). Simulated
+ * fibers share their host thread's table, so sim code should use the
+ * node-passing interfaces instead.
+ *
+ * Key choice: owners whose slots are released while the object is
+ * alive (mutexes: every unlock releases) may key by address. Owners
+ * whose slots persist for the object's lifetime (barriers: a Node is
+ * bound to its barrier for life) must key by a *unique instance
+ * token* (next_object_key()), not the address — a successor object at
+ * a reused address would otherwise inherit the predecessor's stale
+ * nodes, which for a barrier means mixed senses and a deadlocked
+ * episode. The flip side is deliberate and documented: token-keyed
+ * entries are never released (an object's destructor cannot reach
+ * other threads' tables), so a thread retains one node per barrier it
+ * ever called arrive_and_wait() on, for the thread's lifetime. That
+ * is the right trade for the facade's target shape (long-lived
+ * participant threads, few barriers); a worker that churns through
+ * many short-lived barriers should use the node-passing API, whose
+ * nodes live on its stack.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace reactive {
+
+/// Process-unique key for facade slot tables whose entries outlive any
+/// particular claim/release pairing (see file header). Monotone, never
+/// reused.
+inline std::uint64_t next_object_key()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// See file header. One instantiation (and so one thread-local table)
+/// per Node type.
+template <typename Node>
+class ThreadNodeSlots {
+  public:
+    /// This thread's node for @p owner: the already-claimed slot if one
+    /// exists (an object's acquire- and release-shaped calls both land
+    /// here), else a reused-or-new slot claimed for @p owner.
+    static Node* claim(std::uint64_t owner)
+    {
+        auto& slots = storage();
+        Entry* free_entry = nullptr;
+        for (auto& e : slots) {
+            if (e.owner == owner)
+                return e.node.get();
+            if (e.owner == kFree && free_entry == nullptr)
+                free_entry = &e;
+        }
+        if (free_entry != nullptr) {
+            free_entry->owner = owner;
+            return free_entry->node.get();
+        }
+        slots.push_back(Entry{owner, std::make_unique<Node>()});
+        return slots.back().node.get();
+    }
+
+    /// Releases this thread's slot for @p owner; the node memory is
+    /// kept for reuse. No-op if nothing is claimed.
+    static void release(std::uint64_t owner)
+    {
+        for (auto& e : storage()) {
+            if (e.owner == owner) {
+                e.owner = kFree;
+                return;
+            }
+        }
+    }
+
+  private:
+    static constexpr std::uint64_t kFree = 0;
+
+    struct Entry {
+        std::uint64_t owner;
+        std::unique_ptr<Node> node;
+    };
+
+    static std::vector<Entry>& storage()
+    {
+        thread_local std::vector<Entry> slots;
+        return slots;
+    }
+};
+
+}  // namespace reactive

@@ -38,6 +38,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -145,17 +146,30 @@ class QueueRwLock {
             node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
             out = Outcome::kAcquiredWaited;
         }
-        // Propagate the grant to an immediately following reader, so
-        // consecutive readers overlap.
-        if (node.state.load(std::memory_order_acquire) & kSuccReaderBit) {
-            Node* succ;
-            while ((succ = node.next.load(std::memory_order_acquire)) ==
-                   nullptr)
-                P::pause();
-            reader_count_.fetch_add(1, std::memory_order_seq_cst);
-            succ->state.fetch_or(kGoBit, std::memory_order_release);
-        }
+        propagate_reader_grant(node);
         return out;
+    }
+
+    /**
+     * Non-blocking shared attempt: wins only an *empty* valid queue
+     * (tail == nullptr); a busy or retired queue fails immediately as
+     * kInvalid. Backs the std try_lock_shared facade — spurious
+     * failure under contention is permitted there.
+     */
+    Outcome try_start_read(Node& node)
+    {
+        node.kind = Kind::kReader;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (!tail_.compare_exchange_strong(expected, &node,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+            return Outcome::kInvalid;
+        reader_count_.fetch_add(1, std::memory_order_seq_cst);
+        node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+        propagate_reader_grant(node);
+        return Outcome::kAcquiredEmpty;
     }
 
     /// Releases a shared acquisition.
@@ -213,6 +227,46 @@ class QueueRwLock {
         }
         pred->state.fetch_or(kSuccWriterBit, std::memory_order_release);
         pred->next.store(&node, std::memory_order_release);
+        return wait_for_signal(node) ? Outcome::kAcquiredWaited
+                                     : Outcome::kInvalid;
+    }
+
+    /**
+     * Non-blocking exclusive attempt: fails immediately (kInvalid)
+     * unless the queue's tail is empty, the lock is valid, and no
+     * reader group is inside. The reader pre-check keeps this a true
+     * try: without it, winning the empty-tail CAS while a dequeued
+     * reader group is still inside would *commit* the acquisition
+     * (the node cannot be safely retracted — the Dekker handshake
+     * with end_read assumes queued-at-tail discipline) and wait out
+     * the readers' application-controlled critical sections. With the
+     * pre-check, a reader observed absent cannot reappear before the
+     * tail CAS (readers increment the count only after winning the
+     * tail or being granted by a queued node), so the residual
+     * wait_for_signal path is a never-taken safety net. Backs the std
+     * try_lock facade; failure may be spurious.
+     */
+    Outcome try_start_write(Node& node)
+    {
+        if (reader_count_.load(std::memory_order_seq_cst) != 0)
+            return Outcome::kInvalid;  // readers inside: fail the try
+        node.kind = Kind::kWriter;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (!tail_.compare_exchange_strong(expected, &node,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+            return Outcome::kInvalid;
+        // Identical to start_write's empty-tail path (see its comment
+        // on the seq_cst Dekker handshake with end_read).
+        next_writer_.store(&node, std::memory_order_seq_cst);
+        if (reader_count_.load(std::memory_order_seq_cst) == 0 &&
+            next_writer_.exchange(nullptr, std::memory_order_seq_cst) ==
+                &node) {
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            return Outcome::kAcquiredEmpty;
+        }
         return wait_for_signal(node) ? Outcome::kAcquiredWaited
                                      : Outcome::kInvalid;
     }
@@ -321,6 +375,21 @@ class QueueRwLock {
                                                std::memory_order_acquire))
             return true;
         return (expected & kInvalidBit) != 0;
+    }
+
+    /// Propagates this reader's grant to an immediately following
+    /// reader (registered via kSuccReaderBit), so consecutive readers
+    /// overlap.
+    void propagate_reader_grant(Node& node)
+    {
+        if (node.state.load(std::memory_order_acquire) & kSuccReaderBit) {
+            Node* succ;
+            while ((succ = node.next.load(std::memory_order_acquire)) ==
+                   nullptr)
+                P::pause();
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            succ->state.fetch_or(kGoBit, std::memory_order_release);
+        }
     }
 
     /// Spins on the node's own state word; true = GO, false = INVALID.

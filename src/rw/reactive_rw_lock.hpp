@@ -52,12 +52,14 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <optional>
 
 #include "core/cost_model.hpp"
 #include "core/policy.hpp"
+#include "core/protocol_set.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
@@ -84,14 +86,29 @@ struct ReactiveRwLockParams {
  * Reactive reader-writer lock selecting between the centralized and
  * queue protocols.
  *
+ * Policy decisions flow through the N-protocol selection framework
+ * (core/protocol_set.hpp), with the writer-side signals mapped to the
+ * two-slot set {simple, queue}: binary SwitchPolicy policies embed via
+ * SelectAdapter with their historical call sequence (bit-compatible
+ * decisions), and Mode values are the protocol indices.
+ *
  * @tparam P      Platform model.
- * @tparam Policy switching policy (Section 3.4); shared with the
- *                reactive mutex via the SwitchPolicy concept.
+ * @tparam Policy switching policy (Section 3.4): a binary SwitchPolicy
+ *                or a two-protocol SelectPolicy; shared with the
+ *                reactive mutex.
  */
-template <Platform P, SwitchPolicy Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy>
 class ReactiveRwLock {
   public:
-    /// Which protocol currently services requests (the hint variable).
+    /// The select-interface view of the policy parameter.
+    using Select = SelectFor<Policy>;
+    /// The rwlock's protocol set is fixed: {simple, MCS-style queue}.
+    static constexpr std::uint32_t kProtocols = 2;
+
+    static_assert(SelectPolicy<Select>);
+
+    /// Protocol index currently servicing requests (the hint
+    /// variable), under the set's conventional names.
     enum class Mode : std::uint32_t { kSimple = 0, kQueue = 1 };
 
     /// Release token: protocol held plus any pending protocol change.
@@ -113,7 +130,9 @@ class ReactiveRwLock {
 
     explicit ReactiveRwLock(ReactiveRwLockParams params,
                             Policy policy = Policy{})
-        : queue_(/*initially_valid=*/false), params_(params), policy_(policy)
+        : queue_(/*initially_valid=*/false),
+          params_(params),
+          select_(std::move(policy))
     {
         // Initial state: simple valid and free, queue invalid,
         // mode = simple (the low-contention protocol, as in Figure 3.27).
@@ -174,8 +193,8 @@ class ReactiveRwLock {
         // policy state — readers hold no exclusivity.
         if (params_.optimistic_simple &&
             simple_.try_lock_write() == Attempt::kAcquired) {
-            if constexpr (FastPathAwarePolicy<Policy>)
-                policy_.on_tts_fast_acquire();
+            if constexpr (FastPathAwareSelect<Select>)
+                select_.on_tts_fast_acquire();
             n.rm = ReleaseMode::kSimple;
             return;
         }
@@ -215,29 +234,87 @@ class ReactiveRwLock {
         }
     }
 
+    // ---- std-facade hooks (one-shot tries; see reactive_shared_mutex)
+
+    /// Single non-blocking write attempt: the optimistic simple-word
+    /// CAS, then — if the hint says queue mode — a tail CAS that wins
+    /// only an empty valid queue (so try_lock keeps making progress
+    /// while the lock lives in the queue protocol; std::lock over
+    /// several reactive locks depends on that). Neither path performs
+    /// monitoring, as for the optimistic fast path. Failure may be
+    /// spurious.
+    bool try_lock_write(Node& n)
+    {
+        if (simple_.try_lock_write() ==
+            SimpleRwLock<P>::Attempt::kAcquired) {
+            if constexpr (FastPathAwareSelect<Select>)
+                select_.on_tts_fast_acquire();
+            n.rm = ReleaseMode::kSimple;
+            return true;
+        }
+        if (mode() == Mode::kQueue &&
+            queue_.try_start_write(n.qnode) != QueueRwLock<P>::Outcome::kInvalid) {
+            n.rm = ReleaseMode::kQueue;
+            return true;
+        }
+        return false;
+    }
+
+    /// Single non-blocking read attempt (simple word, then the queue's
+    /// empty-tail path in queue mode; readers never monitor). Failure
+    /// may be spurious.
+    bool try_lock_read(Node& n)
+    {
+        if (simple_.try_lock_read() == SimpleRwLock<P>::Attempt::kAcquired) {
+            n.rm = ReleaseMode::kSimple;
+            return true;
+        }
+        if (mode() == Mode::kQueue &&
+            queue_.try_start_read(n.qnode) != QueueRwLock<P>::Outcome::kInvalid) {
+            n.rm = ReleaseMode::kQueue;
+            return true;
+        }
+        return false;
+    }
+
     // ---- monitoring (tests, experiments) -----------------------------
 
-    /// Current protocol hint.
-    Mode mode() const
+    /// Current protocol-index hint.
+    std::uint32_t protocol_index() const
     {
-        return static_cast<Mode>(mode_.value.load(std::memory_order_relaxed));
+        return mode_.value.load(std::memory_order_relaxed);
     }
+
+    /// protocol_index() under the set's conventional names.
+    Mode mode() const { return static_cast<Mode>(protocol_index()); }
 
     /// Number of completed protocol changes.
     std::uint64_t protocol_changes() const { return protocol_changes_; }
 
-    /// Policy state access (in-consensus callers only).
-    Policy& policy() { return policy_; }
+    /// Policy state access (in-consensus callers only). Returns the
+    /// policy as passed in (binary policies are unwrapped from their
+    /// adapter).
+    Policy& policy()
+    {
+        if constexpr (SelectPolicy<Policy>)
+            return select_;
+        else
+            return select_.underlying();
+    }
 
   private:
     using Attempt = typename SimpleRwLock<P>::Attempt;
     using QOutcome = typename QueueRwLock<P>::Outcome;
+    static constexpr std::uint32_t kSimpleIndex =
+        static_cast<std::uint32_t>(Mode::kSimple);
+    static constexpr std::uint32_t kQueueIndex =
+        static_cast<std::uint32_t>(Mode::kQueue);
 
     /// Calibrating policies (core/cost_model.hpp) receive each
     /// slow-path *write* acquisition's measured latency and each
     /// switch's measured duration. Readers never feed the policy, so
     /// they are never timed; plain policies never are either.
-    static constexpr bool kCalibrating = CalibratingSwitchPolicy<Policy>;
+    static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
 
     /// Simple-protocol read acquisition: spin with backoff while a
     /// writer is inside; false if the protocol was retired or the hint
@@ -273,21 +350,21 @@ class ReactiveRwLock {
             switch (simple_.try_lock_write()) {
             case Attempt::kAcquired: {
                 const bool contended = retries > params_.write_retry_limit;
-                bool switch_now;
+                const ProtocolSignal sig{kSimpleIndex, contended ? +1 : 0};
+                std::uint32_t next;
                 if constexpr (kCalibrating) {
                     // Sample only clean classes (immediate or past the
                     // retry limit); mid-spin wins measure waiting, not
                     // protocol cost (see cost_model.hpp).
                     if (contended || retries == 0)
-                        switch_now = policy_.on_tts_acquire(contended,
-                                                            P::now() - start);
+                        next = select_.next_protocol(sig, P::now() - start);
                     else
-                        switch_now = policy_.on_tts_acquire(contended);
+                        next = select_.next_protocol(sig);
                 } else {
-                    switch_now = policy_.on_tts_acquire(contended);
+                    next = select_.next_protocol(sig);
                 }
-                return switch_now ? ReleaseMode::kSimpleToQueue
-                                  : ReleaseMode::kSimple;
+                return next != kSimpleIndex ? ReleaseMode::kSimpleToQueue
+                                            : ReleaseMode::kSimple;
             }
             case Attempt::kInvalid:
                 return std::nullopt;
@@ -311,12 +388,14 @@ class ReactiveRwLock {
         if (outcome == QOutcome::kInvalid)
             return std::nullopt;
         const bool empty = outcome == QOutcome::kAcquiredEmpty;
-        bool switch_now;
+        const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
+        std::uint32_t next;
         if constexpr (kCalibrating)
-            switch_now = policy_.on_queue_acquire(empty, P::now() - start);
+            next = select_.next_protocol(sig, P::now() - start);
         else
-            switch_now = policy_.on_queue_acquire(empty);
-        return switch_now ? ReleaseMode::kQueueToSimple : ReleaseMode::kQueue;
+            next = select_.next_protocol(sig);
+        return next != kQueueIndex ? ReleaseMode::kQueueToSimple
+                                   : ReleaseMode::kQueue;
     }
 
     /// The holding writer validates the queue (capturing its INVALID
@@ -330,9 +409,9 @@ class ReactiveRwLock {
         mode_.value.store(static_cast<std::uint32_t>(Mode::kQueue),
                           std::memory_order_release);
         ++protocol_changes_;
-        policy_.on_switch();
+        select_.on_switch();
         if constexpr (kCalibrating)
-            policy_.on_switch_cycles(P::now() - start);
+            select_.on_switch_cycles(P::now() - start);
         queue_.end_write(n.qnode);
     }
 
@@ -345,11 +424,11 @@ class ReactiveRwLock {
         mode_.value.store(static_cast<std::uint32_t>(Mode::kSimple),
                           std::memory_order_release);
         ++protocol_changes_;
-        policy_.on_switch();
+        select_.on_switch();
         queue_.invalidate(&n.qnode);
         // Still in consensus until validate_free() publishes the word.
         if constexpr (kCalibrating)
-            policy_.on_switch_cycles(P::now() - start);
+            select_.on_switch_cycles(P::now() - start);
         simple_.validate_free();
     }
 
@@ -360,7 +439,7 @@ class ReactiveRwLock {
     QueueRwLock<P> queue_;
 
     ReactiveRwLockParams params_;
-    Policy policy_;                       // mutated in-consensus only
+    Select select_;                       // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
 };
 

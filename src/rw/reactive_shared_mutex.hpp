@@ -1,0 +1,109 @@
+/**
+ * @file
+ * std::shared_mutex-shaped facade over the reactive reader-writer lock,
+ * so `std::shared_lock` / `std::unique_lock` / `std::lock_guard` work
+ * against the reactive rwlock unchanged ("the interface to the
+ * application program remains constant", thesis Section 1.1).
+ *
+ * The node-passing `ReactiveRwLock` interface remains the fast path;
+ * this facade materializes the per-acquisition node in a thread-local
+ * slot keyed by the mutex address (platform/thread_slots.hpp), which is
+ * what lets `unlock_shared()` find the node `lock_shared()` used
+ * without the caller carrying it. Semantics follow std::shared_mutex:
+ * non-reentrant per object (a thread holds at most one lock — shared
+ * or exclusive — on a given mutex), and the matching unlock must come
+ * from the locking thread.
+ *
+ * try_lock()/try_lock_shared() are single optimistic attempts: the
+ * simple protocol's word first, then — while the lock lives in the
+ * queue protocol — the queue's empty-tail path, so tries keep
+ * succeeding on a momentarily free lock in either mode (std::lock /
+ * std::scoped_lock over several reactive mutexes rely on that for
+ * progress). Failure under contention may be spurious, which the
+ * standard's allowance covers.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "platform/thread_slots.hpp"
+#include "rw/reactive_rw_lock.hpp"
+
+namespace reactive {
+
+/**
+ * std::shared_mutex-shaped reactive reader-writer mutex.
+ *
+ * @tparam P      Platform model.
+ * @tparam Policy switching policy, as for ReactiveRwLock.
+ */
+template <Platform P, typename Policy = AlwaysSwitchPolicy>
+class ReactiveSharedMutex {
+  public:
+    using RwLock = ReactiveRwLock<P, Policy>;
+
+    ReactiveSharedMutex() = default;
+    explicit ReactiveSharedMutex(ReactiveRwLockParams params,
+                                 Policy policy = Policy{})
+        : rw_(params, std::move(policy))
+    {
+    }
+
+    // ---- exclusive (writer) ------------------------------------------
+
+    void lock() { rw_.lock_write(*Slots::claim(key())); }
+
+    bool try_lock()
+    {
+        typename RwLock::Node* n = Slots::claim(key());
+        if (rw_.try_lock_write(*n))
+            return true;
+        Slots::release(key());
+        return false;
+    }
+
+    void unlock()
+    {
+        typename RwLock::Node* n = Slots::claim(key());
+        rw_.unlock_write(*n);
+        Slots::release(key());
+    }
+
+    // ---- shared (reader) ---------------------------------------------
+
+    void lock_shared() { rw_.lock_read(*Slots::claim(key())); }
+
+    bool try_lock_shared()
+    {
+        typename RwLock::Node* n = Slots::claim(key());
+        if (rw_.try_lock_read(*n))
+            return true;
+        Slots::release(key());
+        return false;
+    }
+
+    void unlock_shared()
+    {
+        typename RwLock::Node* n = Slots::claim(key());
+        rw_.unlock_read(*n);
+        Slots::release(key());
+    }
+
+    /// Underlying reactive rwlock (monitoring, tests).
+    RwLock& rw_lock() { return rw_; }
+
+  private:
+    using Slots = ThreadNodeSlots<typename RwLock::Node>;
+
+    /// Slots are released at every unlock, so the address is a valid
+    /// key (see thread_slots.hpp on key choice).
+    std::uint64_t key() const
+    {
+        return static_cast<std::uint64_t>(
+            reinterpret_cast<std::uintptr_t>(this));
+    }
+
+    RwLock rw_;
+};
+
+}  // namespace reactive

@@ -1,11 +1,12 @@
 // Correctness tests for the barrier subsystem (src/barrier/): episode
 // ordering (nobody passes episode e before everyone arrived at e),
 // sense reuse across many episodes with the same Nodes, protocol-switch
-// correctness of the reactive barrier under forced-switch storms, and
-// the interop regression that keeps the spin barriers' episode
-// semantics aligned with the waiting-algorithm barrier
-// (src/waiting/sync/barrier.hpp) — on both the native platform (real
-// threads) and the simulated multiprocessor.
+// correctness of the reactive barrier under forced-switch storms —
+// including three-protocol storms cycling central -> tree ->
+// dissemination through every episode — and the interop regression
+// that keeps the spin barriers' episode semantics aligned with the
+// waiting-algorithm barrier (src/waiting/sync/barrier.hpp) — on both
+// the native platform (real threads) and the simulated multiprocessor.
 
 #include <gtest/gtest.h>
 
@@ -18,8 +19,10 @@
 #include "barrier/barrier_concepts.hpp"
 #include "barrier/central_barrier.hpp"
 #include "barrier/combining_tree_barrier.hpp"
+#include "barrier/dissemination_barrier.hpp"
 #include "barrier/reactive_barrier.hpp"
 #include "core/policy.hpp"
+#include "core/protocol_set.hpp"
 #include "platform/native_platform.hpp"
 #include "sim/machine.hpp"
 #include "sim/sim_platform.hpp"
@@ -32,12 +35,43 @@ using sim::SimPlatform;
 
 static_assert(Barrier<CentralBarrier<NativePlatform>>);
 static_assert(Barrier<CombiningTreeBarrier<NativePlatform>>);
+static_assert(Barrier<DisseminationBarrier<NativePlatform>>);
 static_assert(Barrier<ReactiveBarrier<NativePlatform>>);
 static_assert(Barrier<WaitingBarrier<NativePlatform>>);
 static_assert(Barrier<CentralBarrier<SimPlatform>>);
 static_assert(Barrier<CombiningTreeBarrier<SimPlatform>>);
+static_assert(Barrier<DisseminationBarrier<SimPlatform>>);
 static_assert(Barrier<ReactiveBarrier<SimPlatform>>);
 static_assert(Barrier<WaitingBarrier<SimPlatform>>);
+
+// Every barrier protocol is a ProtocolSet slot; the waiting barrier is
+// deliberately not (it has no decomposed consensus interface).
+static_assert(BarrierProtocolSlot<CentralBarrier<SimPlatform>>);
+static_assert(BarrierProtocolSlot<CombiningTreeBarrier<SimPlatform>>);
+static_assert(BarrierProtocolSlot<DisseminationBarrier<SimPlatform>>);
+static_assert(BarrierProtocolSlot<CentralBarrier<NativePlatform>>);
+static_assert(BarrierProtocolSlot<CombiningTreeBarrier<NativePlatform>>);
+static_assert(BarrierProtocolSlot<DisseminationBarrier<NativePlatform>>);
+static_assert(!BarrierProtocolSlot<WaitingBarrier<SimPlatform>>);
+
+/// The acceptance instantiation: a reactive barrier over the full
+/// three-protocol set.
+template <typename Plat>
+using Barrier3Set = ProtocolSet<CentralBarrier<Plat>,
+                                CombiningTreeBarrier<Plat>,
+                                DisseminationBarrier<Plat>>;
+
+/// LadderCompetitivePolicy sized for the three-protocol set, with a
+/// round trip small enough that the short torture runs actually climb
+/// and descend the ladder.
+struct Ladder3Policy : LadderCompetitivePolicy {
+    Ladder3Policy()
+        : LadderCompetitivePolicy({/*protocols=*/3, /*residual_up=*/150,
+                                   /*residual_down=*/150,
+                                   /*switch_round_trip=*/1500})
+    {
+    }
+};
 
 /// Test-only policy that demands a protocol change every @p k episodes
 /// in either protocol: maximizes switch frequency so both switch
@@ -54,6 +88,36 @@ class MetronomePolicy {
     std::uint32_t n_ = 0;
 };
 static_assert(SwitchPolicy<MetronomePolicy>);
+
+/// Test-only N-protocol policy that walks the set every @p k episodes
+/// (step +1 cycles up: central -> tree -> dissemination -> central;
+/// step -1 cycles down, covering the opposite switch directions).
+class CycleSelectPolicy {
+  public:
+    explicit CycleSelectPolicy(std::uint32_t protocols = 3,
+                               std::uint32_t k = 3, int step = +1)
+        : protocols_(protocols), k_(k), step_(step)
+    {
+    }
+
+    std::uint32_t next_protocol(ProtocolSignal s)
+    {
+        if (++n_ % k_ != 0)
+            return s.protocol;
+        const auto delta = static_cast<std::uint32_t>(
+            static_cast<int>(protocols_) + step_);
+        return (s.protocol + delta) % protocols_;
+    }
+
+    void on_switch() {}
+
+  private:
+    std::uint32_t protocols_;
+    std::uint32_t k_;
+    int step_;
+    std::uint64_t n_ = 0;
+};
+static_assert(SelectPolicy<CycleSelectPolicy>);
 
 // ---- simulated-machine episode-ordering tests -------------------------
 
@@ -99,10 +163,15 @@ class SimBarrierTest : public ::testing::Test {};
 using SimBarrierTypes =
     ::testing::Types<CentralBarrier<SimPlatform>,
                      CombiningTreeBarrier<SimPlatform>,
+                     DisseminationBarrier<SimPlatform>,
                      ReactiveBarrier<SimPlatform>,
                      ReactiveBarrier<SimPlatform, Competitive3Policy>,
                      ReactiveBarrier<SimPlatform, HysteresisPolicy>,
                      ReactiveBarrier<SimPlatform, MetronomePolicy>,
+                     ReactiveBarrier<SimPlatform, CycleSelectPolicy,
+                                     Barrier3Set<SimPlatform>>,
+                     ReactiveBarrier<SimPlatform, Ladder3Policy,
+                                     Barrier3Set<SimPlatform>>,
                      WaitingBarrier<SimPlatform>>;
 TYPED_TEST_SUITE(SimBarrierTest, SimBarrierTypes);
 
@@ -187,10 +256,13 @@ class NativeBarrierTest : public ::testing::Test {};
 using NativeBarrierTypes =
     ::testing::Types<CentralBarrier<NativePlatform>,
                      CombiningTreeBarrier<NativePlatform>,
+                     DisseminationBarrier<NativePlatform>,
                      ReactiveBarrier<NativePlatform>,
                      ReactiveBarrier<NativePlatform, Competitive3Policy>,
                      ReactiveBarrier<NativePlatform, HysteresisPolicy>,
-                     ReactiveBarrier<NativePlatform, MetronomePolicy>>;
+                     ReactiveBarrier<NativePlatform, MetronomePolicy>,
+                     ReactiveBarrier<NativePlatform, CycleSelectPolicy,
+                                     Barrier3Set<NativePlatform>>>;
 TYPED_TEST_SUITE(NativeBarrierTest, NativeBarrierTypes);
 
 TYPED_TEST(NativeBarrierTest, EpisodeOrderingUnderThreads)
@@ -272,6 +344,123 @@ TEST(ReactiveBarrierSwitchTest, ForcedSwitchStormOnNativeThreads)
     B bar(hw, ReactiveBarrierParams{}, MetronomePolicy(1));
     EXPECT_EQ(native_barrier_torture(bar, hw, 300), 0);
     EXPECT_EQ(bar.protocol_changes(), 300u);
+}
+
+// ---- three-protocol switching (ProtocolSet<central, tree, dissem>) ----
+
+TEST(ReactiveBarrier3Test, CycleStormKeepsOrderingBothDirections)
+{
+    // A protocol change every single episode, walking the full ladder:
+    // up-cycle covers central->tree, tree->dissemination,
+    // dissemination->central; down-cycle covers the other three
+    // directions. Episode ordering must survive every switch, at
+    // several seeds.
+    using B = ReactiveBarrier<SimPlatform, CycleSelectPolicy,
+                              Barrier3Set<SimPlatform>>;
+    for (const int step : {+1, -1}) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            auto bar = std::make_shared<B>(
+                12, ReactiveBarrierParams{},
+                CycleSelectPolicy(/*protocols=*/3, /*k=*/1, step));
+            EXPECT_EQ(sim_barrier_torture(bar, 12, 42, /*compute=*/100,
+                                          seed),
+                      0)
+                << "step " << step << " seed " << seed;
+            // One consensus step per episode, one switch per episode.
+            EXPECT_EQ(bar->protocol_changes(), 42u)
+                << "step " << step << " seed " << seed;
+        }
+    }
+}
+
+TEST(ReactiveBarrier3Test, CycleStormSurvivesStragglersAndOddCounts)
+{
+    // Non-power-of-two participants exercise the dissemination round
+    // arithmetic and partial tree nodes while the set cycles.
+    using B = ReactiveBarrier<SimPlatform, CycleSelectPolicy,
+                              Barrier3Set<SimPlatform>>;
+    for (const std::uint32_t procs : {2u, 5u, 13u}) {
+        auto bar = std::make_shared<B>(
+            procs, ReactiveBarrierParams{},
+            CycleSelectPolicy(/*protocols=*/3, /*k=*/2, +1));
+        EXPECT_EQ(sim_barrier_torture(bar, procs, 36, /*compute=*/80,
+                                      /*seed=*/5, /*straggle=*/15000),
+                  0)
+            << "procs " << procs;
+    }
+}
+
+TEST(ReactiveBarrier3Test, CycleStormOnNativeThreads)
+{
+    // Every release switches to the next protocol of the 3-set on real
+    // threads — the storm the TSan CI job replays for the full ladder.
+    using B = ReactiveBarrier<NativePlatform, CycleSelectPolicy,
+                              Barrier3Set<NativePlatform>>;
+    const std::uint32_t hw =
+        std::max(2u, std::min(4u, std::thread::hardware_concurrency()));
+    B bar(hw, ReactiveBarrierParams{},
+          CycleSelectPolicy(/*protocols=*/3, /*k=*/1, +1));
+    EXPECT_EQ(native_barrier_torture(bar, hw, 300), 0);
+    EXPECT_EQ(bar.protocol_changes(), 300u);
+}
+
+TEST(ReactiveBarrier3Test, LadderClimbsUnderBunchedArrivals)
+{
+    // Bunched arrivals at P=32: the drift signal fires every episode in
+    // central mode and keeps firing in tree mode (a more scalable rung
+    // exists), so the plain ladder policy must climb off the bottom
+    // rung and eventually reach the dissemination rung.
+    using B = ReactiveBarrier<SimPlatform, Ladder3Policy,
+                              Barrier3Set<SimPlatform>>;
+    auto bar = std::make_shared<B>(32);
+    (void)apps::run_barrier_uniform<B>(32, 60, /*compute=*/100, /*seed=*/1,
+                                       bar);
+    EXPECT_GE(bar->protocol_changes(), 2u);
+    EXPECT_EQ(bar->mode(), B::Mode::kDissemination);
+}
+
+TEST(ReactiveBarrier3Test, MeasuredPolicyReturnsToCentralWhenSkewed)
+{
+    // One run, two regimes, under traffic-free monitoring (the
+    // recommended configuration for N >= 3 sets): a bunched phase (the
+    // measured policy may adopt a scalable rung), then a long
+    // straggler phase — the skewed drift evidence (completer-identity
+    // streaks; the designated completer's own wait) must bring the
+    // measured ladder policy back to the bottom rung, across two rungs
+    // if needed.
+    using B = ReactiveBarrier<SimPlatform, CalibratedLadderPolicy,
+                              Barrier3Set<SimPlatform>>;
+    CalibratedLadderPolicy::Params pp;
+    pp.protocols = 3;
+    pp.probe_period = 8;
+    pp.drift_round_trip = 1500;
+    ReactiveBarrierParams bp;
+    bp.free_monitoring = true;
+    auto bar = std::make_shared<B>(8, bp, CalibratedLadderPolicy(pp));
+    (void)apps::run_barrier_phases<B>(8, /*phases=*/2,
+                                      /*episodes_per_phase=*/60,
+                                      /*straggle=*/40000, /*compute=*/80,
+                                      /*seed=*/1, bar);
+    EXPECT_EQ(bar->mode(), B::Mode::kCentral);
+    EXPECT_GT(bar->protocol_changes(), 0u);
+}
+
+TEST(ReactiveBarrier3Test, FreeMonitoringCycleStormKeepsOrdering)
+{
+    // The cycle storm again with untracked slots (free monitoring):
+    // switch correctness must not depend on the spread machinery.
+    using B = ReactiveBarrier<SimPlatform, CycleSelectPolicy,
+                              Barrier3Set<SimPlatform>>;
+    ReactiveBarrierParams bp;
+    bp.free_monitoring = true;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto bar = std::make_shared<B>(
+            12, bp, CycleSelectPolicy(/*protocols=*/3, /*k=*/1, +1));
+        EXPECT_EQ(sim_barrier_torture(bar, 12, 42, /*compute=*/100, seed),
+                  0)
+            << "seed " << seed;
+        EXPECT_EQ(bar->protocol_changes(), 42u) << "seed " << seed;
+    }
 }
 
 TEST(ReactiveBarrierSwitchTest, PhaseShiftingTracksBothRegimes)

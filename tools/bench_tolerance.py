@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json crossover dumps cell-by-cell.
+
+The bench binaries (fig_calibration, fig_barrier) write every crossover
+cell as a flat record {bench, protocol, procs, regime, cycles_per_op}.
+This script diffs a baseline dump (a previous run on the same runner
+class) against the current one with a relative tolerance, so CI can
+flag drifting crossovers without a human eyeballing tables. It is
+wired as a *non-blocking* CI step: simulator cells are deterministic
+for a fixed seed, but code changes legitimately move them — the report
+is the point, the exit code is advisory.
+
+Usage:
+  bench_tolerance.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Exit codes: 0 all matched cells within tolerance (missing baseline
+cells and brand-new cells are reported but do not fail), 1 violations,
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_tolerance: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for r in records:
+        key = (r["bench"], r["protocol"], r["procs"], r["regime"])
+        cells[key] = float(r["cycles_per_op"])
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative deviation (default 0.15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    violations = []
+    compared = 0
+    for key, b in sorted(base.items()):
+        if key not in cur:
+            print(f"  MISSING in current: {key}")
+            continue
+        c = cur[key]
+        compared += 1
+        # Relative to the baseline cell; a zero baseline compares only
+        # against zero.
+        if b == 0:
+            ok = c == 0
+            rel = float("inf") if not ok else 0.0
+        else:
+            rel = abs(c - b) / abs(b)
+            ok = rel <= args.tolerance
+        if not ok:
+            violations.append((key, b, c, rel))
+    for key in sorted(set(cur) - set(base)):
+        print(f"  NEW cell (no baseline): {key}")
+
+    for key, b, c, rel in violations:
+        bench, protocol, procs, regime = key
+        print(f"  TOLERANCE FAIL [{bench}/{regime} P={procs}] {protocol}: "
+              f"baseline={b:.1f} current={c:.1f} ({rel * 100:.1f}% > "
+              f"{args.tolerance * 100:.0f}%)")
+
+    print(f"bench_tolerance: {compared} cells compared, "
+          f"{len(violations)} outside {args.tolerance * 100:.0f}%")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
