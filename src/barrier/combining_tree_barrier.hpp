@@ -40,6 +40,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "barrier/barrier_concepts.hpp"
@@ -74,7 +75,11 @@ class CombiningTreeBarrier {
      * Per-participant state; reuse the same Node across episodes. The
      * leaf identity is auto-assigned on first arrival, so a fixed set
      * of `participants()` Nodes (one per participant, each arriving
-     * every episode) needs no manual numbering.
+     * every episode) needs no manual numbering. At most
+     * `participants()` distinct Nodes are supported over the barrier's
+     * lifetime: replacing a retired participant's Node (thread churn,
+     * successive thread teams) aborts rather than wrap into a
+     * duplicate id (see the dissemination barrier's Node for why).
      */
     struct Node {
         std::uint32_t id = 0;
@@ -160,8 +165,12 @@ class CombiningTreeBarrier {
     BarrierEpisode arrive_only(Node& n)
     {
         if (!n.assigned) {
-            n.id = next_id_.fetch_add(1, std::memory_order_relaxed) %
-                   participants_;
+            n.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+            // Oversubscription would wrap into a duplicate id and
+            // silently corrupt the per-leaf arrival counts; fail fast
+            // (same discipline as the dissemination barrier).
+            if (n.id >= participants_)
+                std::abort();
             n.assigned = true;
         }
         n.sense ^= 1u;

@@ -57,6 +57,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "barrier/barrier_concepts.hpp"
@@ -85,6 +86,13 @@ class DisseminationBarrier {
      * participant identity is auto-assigned on first arrival (as in the
      * combining tree); the node carries the participant's episode
      * count, which all flags are matched against.
+     *
+     * A barrier instance supports at most `participants()` distinct
+     * Nodes over its lifetime: handing a retired participant's slot to
+     * a fresh Node (thread churn, successive thread teams) is not
+     * supported — a reassigned id would inherit the retiree's episode
+     * position mid-stream — and arrive_only aborts rather than wrap
+     * into a duplicate id.
      */
     struct Node {
         std::uint32_t id = 0;
@@ -135,8 +143,13 @@ class DisseminationBarrier {
     BarrierEpisode arrive_only(Node& n)
     {
         if (!n.assigned) {
-            n.id = next_id_.fetch_add(1, std::memory_order_relaxed) %
-                   participants_;
+            n.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+            // Oversubscription (more distinct Nodes than participants,
+            // e.g. thread churn) would wrap into a duplicate id — two
+            // designated completers among them — and silently corrupt
+            // the flag counters. Fail fast instead.
+            if (n.id >= participants_)
+                std::abort();
             n.assigned = true;
         }
         const std::uint64_t e = ++n.episode;

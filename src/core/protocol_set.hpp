@@ -253,7 +253,14 @@ void slot_visit(SlotStore<At, S, Rest...>& store, std::uint32_t index,
         slot_visit(static_cast<SlotStore<At + 1, Rest...>&>(store), index,
                    fn);
     } else {
+        // Out-of-range index (a caller bypassing the consensus-side
+        // clamp): loud in debug builds; in release, dispatch to the
+        // last slot — the same clamp the consensus side applies —
+        // rather than silently dropping the operation (a skipped
+        // barrier arrival would deadlock the episode, a skipped lock
+        // op would corrupt the protocol state).
         assert(false && "protocol index out of range");
+        fn(store.slot, std::integral_constant<std::size_t, At>{});
     }
 }
 
@@ -292,6 +299,7 @@ class ProtocolSet {
     }
 
     /// Runtime-indexed visit: fn(slot, integral_constant<size_t, I>).
+    /// An out-of-range index clamps to the last slot (never a no-op).
     template <typename Fn>
     void dispatch(std::uint32_t index, Fn&& fn)
     {

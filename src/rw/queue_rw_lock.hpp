@@ -209,19 +209,8 @@ class QueueRwLock {
             return Outcome::kInvalid;
         }
         if (pred == nullptr) {
-            // Queue empty, but a departing reader group may still be
-            // draining: hand ourselves over as the next writer and take
-            // the lock only if no reader is left to do the handoff.
-            // (The store/load and the reader side's fetch_sub/exchange
-            // are all seq_cst: this is a Dekker-style store-then-load
-            // handshake against end_read.)
-            next_writer_.store(&node, std::memory_order_seq_cst);
-            if (reader_count_.load(std::memory_order_seq_cst) == 0 &&
-                next_writer_.exchange(nullptr, std::memory_order_seq_cst) ==
-                    &node) {
-                node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            if (dekker_claim_empty(node))
                 return Outcome::kAcquiredEmpty;
-            }
             return wait_for_signal(node) ? Outcome::kAcquiredWaited
                                          : Outcome::kInvalid;
         }
@@ -234,17 +223,19 @@ class QueueRwLock {
     /**
      * Non-blocking exclusive attempt: fails immediately (kInvalid)
      * unless the queue's tail is empty, the lock is valid, and no
-     * reader group is inside. The reader pre-check keeps this a true
-     * try: without it, winning the empty-tail CAS while a dequeued
-     * reader group is still inside would *commit* the acquisition
-     * (the node cannot be safely retracted — the Dekker handshake
-     * with end_read assumes queued-at-tail discipline) and wait out
-     * the readers' application-controlled critical sections. With the
-     * pre-check, a reader observed absent cannot reappear before the
-     * tail CAS (readers increment the count only after winning the
-     * tail or being granted by a queued node), so the residual
-     * wait_for_signal path is a never-taken safety net. Backs the std
-     * try_lock facade; failure may be spurious.
+     * reader group is inside. The reader pre-check fails the common
+     * contended case without dirtying the tail line, but it is not
+     * airtight: between it and the tail CAS a reader can win the
+     * empty tail, a second reader can join it, and the joiner — now
+     * the tail — can leave, clearing the tail while the first reader
+     * is still inside. The Dekker handshake with end_read
+     * (dekker_claim_empty) detects that residue, and the attempt then
+     * *retracts* the node (retract_or_commit_write) instead of
+     * waiting out an application-controlled read-side critical
+     * section, so the try blocks only in the narrow case where
+     * another thread has already enqueued a blocking acquisition
+     * behind it. Backs the std try_lock facade; failure may be
+     * spurious.
      */
     Outcome try_start_write(Node& node)
     {
@@ -258,17 +249,9 @@ class QueueRwLock {
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed))
             return Outcome::kInvalid;
-        // Identical to start_write's empty-tail path (see its comment
-        // on the seq_cst Dekker handshake with end_read).
-        next_writer_.store(&node, std::memory_order_seq_cst);
-        if (reader_count_.load(std::memory_order_seq_cst) == 0 &&
-            next_writer_.exchange(nullptr, std::memory_order_seq_cst) ==
-                &node) {
-            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+        if (dekker_claim_empty(node))
             return Outcome::kAcquiredEmpty;
-        }
-        return wait_for_signal(node) ? Outcome::kAcquiredWaited
-                                     : Outcome::kInvalid;
+        return retract_or_commit_write(node);
     }
 
     /// Releases an exclusive acquisition.
@@ -356,6 +339,12 @@ class QueueRwLock {
     }
 
   private:
+    /// White-box access for tests/test_rw.cpp: retract_or_commit_write
+    /// resolves a race (the drained-reader-group window) that no
+    /// sequence of complete public calls can reproduce on the
+    /// deterministic simulator, so its branches are driven directly.
+    friend struct QueueRwLockTestPeer;
+
     static Node* invalid_tail()
     {
         return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(1));
@@ -390,6 +379,63 @@ class QueueRwLock {
             reader_count_.fetch_add(1, std::memory_order_seq_cst);
             succ->state.fetch_or(kGoBit, std::memory_order_release);
         }
+    }
+
+    /**
+     * The empty-tail writer handshake: the queue is empty, but a
+     * departing reader group may still be draining. Hand ourselves
+     * over as the next writer and take the lock only if no reader is
+     * left to do the handoff. The store/load and the reader side's
+     * fetch_sub/exchange (end_read) are all seq_cst: a Dekker-style
+     * store-then-load handshake, so either we observe the readers or
+     * the last leaving reader observes our registration. True =
+     * self-granted; false = registered, and the grant (or a
+     * retraction, for tries) is the caller's problem.
+     */
+    bool dekker_claim_empty(Node& node)
+    {
+        next_writer_.store(&node, std::memory_order_seq_cst);
+        if (reader_count_.load(std::memory_order_seq_cst) == 0 &&
+            next_writer_.exchange(nullptr, std::memory_order_seq_cst) ==
+                &node) {
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Unwinds try_start_write's failed Dekker handshake: a drained
+     * reader group is still inside, and a try must not wait out its
+     * application-controlled critical section. Withdrawal from
+     * next_writer_ must come first — once the last leaving reader has
+     * exchanged our node out of it, the GO signal is in flight and
+     * the node cannot be retired (a reuse of the node would race with
+     * the stale signal), so that case commits: the lock is ours as
+     * soon as the handoff lands. After a successful withdrawal the
+     * tail CAS can fail only because a successor enqueued behind us;
+     * a mid-queue node cannot leave an MCS-style queue, so that case
+     * re-registers and takes the normal handoff — blocking, but only
+     * when another thread has already blocked behind us anyway.
+     */
+    Outcome retract_or_commit_write(Node& node)
+    {
+        Node* expected = &node;
+        if (!next_writer_.compare_exchange_strong(expected, nullptr,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_seq_cst))
+            return wait_for_signal(node) ? Outcome::kAcquiredWaited
+                                         : Outcome::kInvalid;
+        expected = &node;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed))
+            return Outcome::kInvalid;  // fully retracted: clean failed try
+        // Committed by a successor: redo the empty-tail handshake.
+        if (dekker_claim_empty(node))
+            return Outcome::kAcquiredWaited;
+        return wait_for_signal(node) ? Outcome::kAcquiredWaited
+                                     : Outcome::kInvalid;
     }
 
     /// Spins on the node's own state word; true = GO, false = INVALID.

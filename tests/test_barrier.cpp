@@ -348,6 +348,30 @@ TEST(ReactiveBarrierSwitchTest, ForcedSwitchStormOnNativeThreads)
 
 // ---- three-protocol switching (ProtocolSet<central, tree, dissem>) ----
 
+TEST(ProtocolSetTest, DispatchClampsOutOfRangeIndexToLastSlot)
+{
+    // dispatch() must never silently drop an operation: in release
+    // builds an index past the set clamps to the last slot (the same
+    // clamp the consensus side applies to policy-requested indices),
+    // so a dropped barrier arrival cannot deadlock an episode. Debug
+    // builds assert instead, so only the in-range half runs there.
+    Barrier3Set<NativePlatform> set(1, BarrierSlotOptions{});
+    int hit = -1;
+    const auto record = [&](auto&, auto idx) {
+        hit = static_cast<int>(idx());
+    };
+    set.dispatch(1, record);
+    EXPECT_EQ(hit, 1);
+    set.dispatch(2, record);
+    EXPECT_EQ(hit, 2);
+#ifdef NDEBUG
+    set.dispatch(3, record);
+    EXPECT_EQ(hit, 2);
+    set.dispatch(0xffffffffu, record);
+    EXPECT_EQ(hit, 2);
+#endif
+}
+
 TEST(ReactiveBarrier3Test, CycleStormKeepsOrderingBothDirections)
 {
     // A protocol change every single episode, walking the full ladder:

@@ -21,6 +21,75 @@
 #include "sim/sim_platform.hpp"
 
 namespace reactive {
+
+/**
+ * White-box driver for QueueRwLock::retract_or_commit_write (friend of
+ * the lock): the helper resolves the drained-reader-group race, whose
+ * decisive interleavings happen *inside* one try_start_write call and
+ * are therefore unreachable from any sequence of complete public calls
+ * on the deterministic simulator. The peer installs the exact
+ * post-Dekker-failure state each branch is defined for and drives the
+ * helper directly.
+ */
+struct QueueRwLockTestPeer {
+    template <typename L>
+    using Node = typename L::Node;
+
+    /// State after try_start_write won the empty tail and stored
+    /// next_writer_, but the Dekker check saw @p readers inside.
+    template <typename L>
+    static void install_dekker_failure(L& lock, Node<L>& w,
+                                       std::uint32_t readers)
+    {
+        w.kind = L::Kind::kWriter;
+        w.next.store(nullptr, std::memory_order_relaxed);
+        w.state.store(0, std::memory_order_relaxed);
+        lock.tail_.store(&w, std::memory_order_relaxed);
+        lock.next_writer_.store(&w, std::memory_order_relaxed);
+        lock.reader_count_.store(readers, std::memory_order_relaxed);
+    }
+
+    /// What end_read's last-leaving reader does when it claims the
+    /// registered writer: empties next_writer_ and signals GO.
+    template <typename L>
+    static void claim_as_reader(L& lock, Node<L>& w)
+    {
+        lock.reader_count_.store(0, std::memory_order_relaxed);
+        lock.next_writer_.store(nullptr, std::memory_order_relaxed);
+        w.state.fetch_or(L::kGoBit, std::memory_order_release);
+    }
+
+    /// What a competing writer's tail exchange does: moves the tail to
+    /// @p s with @p w as its (not yet linked) predecessor.
+    template <typename L>
+    static void enqueue_successor(L& lock, Node<L>& s)
+    {
+        s.kind = L::Kind::kWriter;
+        s.next.store(nullptr, std::memory_order_relaxed);
+        s.state.store(0, std::memory_order_relaxed);
+        lock.tail_.store(&s, std::memory_order_relaxed);
+        lock.reader_count_.store(0, std::memory_order_relaxed);
+    }
+
+    template <typename L>
+    static auto retract_or_commit_write(L& lock, Node<L>& w)
+    {
+        return lock.retract_or_commit_write(w);
+    }
+
+    template <typename L>
+    static Node<L>* tail(L& lock)
+    {
+        return lock.tail_.load(std::memory_order_relaxed);
+    }
+
+    template <typename L>
+    static Node<L>* next_writer(L& lock)
+    {
+        return lock.next_writer_.load(std::memory_order_relaxed);
+    }
+};
+
 namespace {
 
 using sim::SimPlatform;
@@ -376,6 +445,213 @@ TEST(QueueRwFairnessTest, ReaderGroupBatchesBehindWriter)
     EXPECT_EQ(inv->violations, 0);
     // The four trailing readers overlap once the writer is done.
     EXPECT_EQ(inv->max_concurrent_readers, 4);
+}
+
+// ---- queue rwlock try paths (std try_lock facade backing) -------------
+
+// A reader group can drain its queue presence while a member is still
+// inside: A wins the empty tail, B joins A, B (the tail) leaves —
+// clearing the tail with A's read-side critical section still open.
+// try_start_write must fail fast on that state, and the lock must be
+// cleanly acquirable once A leaves.
+TEST(QueueRwTryTest, TryWriteFailsFastWithDrainedReaderGroupInside)
+{
+    using L = QueueRwLock<NativePlatform>;
+    L lock;
+    typename L::Node a, b;
+    EXPECT_EQ(lock.start_read(a), L::Outcome::kAcquiredEmpty);
+    EXPECT_EQ(lock.start_read(b), L::Outcome::kAcquiredWaited);  // joins A
+    lock.end_read(b);  // tail cleared; A still inside
+    EXPECT_EQ(lock.reader_count(), 1u);
+    typename L::Node w;
+    EXPECT_EQ(lock.try_start_write(w), L::Outcome::kInvalid);
+    lock.end_read(a);
+    EXPECT_EQ(lock.try_start_write(w), L::Outcome::kAcquiredEmpty);
+    lock.end_write(w);
+    // Fully released: a reader can win the empty tail again.
+    EXPECT_EQ(lock.start_read(a), L::Outcome::kAcquiredEmpty);
+    lock.end_read(a);
+}
+
+// Latency canary: a writer fiber hammers try_start_write across the
+// drained-group dance (the state where the tail is empty but a reader
+// hold is open for kReadHold cycles) at many seeds. Every try must
+// complete in a bounded handful of memory operations; any variant of
+// try_start_write that can reach the Dekker handshake and then *wait*
+// (instead of retracting) pays ~kReadHold the moment the handshake
+// sees the reader and fails the bound.
+TEST(QueueRwTryTest, TryWriteNeverWaitsOutReaderCriticalSections)
+{
+    using L = QueueRwLock<SimPlatform>;
+    constexpr std::uint64_t kReadHold = 20000;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        sim::Machine m(2, sim::CostModel::alewife(), seed);
+        auto lock = std::make_shared<L>();
+        auto max_try = std::make_shared<std::uint64_t>(0);
+        auto tries = std::make_shared<long>(0);
+        auto wins = std::make_shared<long>(0);
+        auto done = std::make_shared<bool>(false);
+        m.spawn(0, [=] {
+            // The drained-group dance, from one fiber: all three steps
+            // are non-blocking, so it needs no partner cooperation.
+            for (std::uint32_t i = 0; i < 15; ++i) {
+                typename L::Node a, b;
+                (void)lock->start_read(a);
+                (void)lock->start_read(b);  // joins A (A is active)
+                lock->end_read(b);          // clears the tail
+                sim::delay(kReadHold);      // A's critical section
+                lock->end_read(a);
+                sim::delay(sim::random_below(300));
+            }
+            *done = true;
+        });
+        m.spawn(1, [=] {
+            while (!*done) {
+                typename L::Node w;
+                const std::uint64_t t0 = SimPlatform::now();
+                const auto out = lock->try_start_write(w);
+                const std::uint64_t dt = SimPlatform::now() - t0;
+                *max_try = std::max(*max_try, dt);
+                ++*tries;
+                if (out != L::Outcome::kInvalid) {
+                    ++*wins;
+                    lock->end_write(w);
+                }
+                sim::delay(sim::random_below(200));
+            }
+        });
+        m.run();
+        EXPECT_GT(*tries, 0) << "seed " << seed;
+        // A try is a handful of memory operations; waiting out a
+        // reader hold would cost ~kReadHold.
+        EXPECT_LT(*max_try, kReadHold / 4) << "seed " << seed;
+    }
+}
+
+// White-box branch coverage of retract_or_commit_write (the decisive
+// interleavings happen inside one try_start_write call and cannot be
+// reproduced by complete public calls; see QueueRwLockTestPeer).
+
+// Branch 1: the Dekker check saw a drained reader group still inside
+// and nothing else intervened — the node fully retracts (tail and
+// next_writer_ restored) and the try fails clean.
+TEST(QueueRwTryTest, RetractUnwindsTailAndWriterRegistration)
+{
+    using L = QueueRwLock<NativePlatform>;
+    using Peer = QueueRwLockTestPeer;
+    L lock;
+    typename L::Node w;
+    Peer::install_dekker_failure(lock, w, /*readers=*/1);
+    EXPECT_EQ(Peer::retract_or_commit_write(lock, w), L::Outcome::kInvalid);
+    EXPECT_EQ(Peer::tail(lock), nullptr);
+    EXPECT_EQ(Peer::next_writer(lock), nullptr);
+    // The retracted node was not granted and is clean for reuse.
+    EXPECT_EQ(w.state.load(), 0u);
+}
+
+// Branch 2: the last leaving reader exchanged the node out of
+// next_writer_ before the retraction — the GO signal is in flight, so
+// the attempt commits and owns the lock.
+TEST(QueueRwTryTest, RetractCommitsWhenReaderAlreadyClaimedTheNode)
+{
+    using L = QueueRwLock<NativePlatform>;
+    using Peer = QueueRwLockTestPeer;
+    L lock;
+    typename L::Node w;
+    Peer::install_dekker_failure(lock, w, /*readers=*/1);
+    Peer::claim_as_reader(lock, w);
+    EXPECT_EQ(Peer::retract_or_commit_write(lock, w),
+              L::Outcome::kAcquiredWaited);
+    lock.end_write(w);
+    EXPECT_EQ(Peer::tail(lock), nullptr);
+    typename L::Node n;  // fully released: publicly acquirable again
+    EXPECT_EQ(lock.try_start_write(n), L::Outcome::kAcquiredEmpty);
+    lock.end_write(n);
+}
+
+// Branch 3: a successor enqueued behind the node, so the tail cannot be
+// retracted — the attempt re-registers, takes the handoff, and the
+// normal release chain still reaches the successor.
+TEST(QueueRwTryTest, RetractCommitsWhenSuccessorMakesItImpossible)
+{
+    using L = QueueRwLock<NativePlatform>;
+    using Peer = QueueRwLockTestPeer;
+    L lock;
+    typename L::Node w, s;
+    Peer::install_dekker_failure(lock, w, /*readers=*/1);
+    Peer::enqueue_successor(lock, s);  // reader group drained meanwhile
+    EXPECT_EQ(Peer::retract_or_commit_write(lock, w),
+              L::Outcome::kAcquiredWaited);
+    EXPECT_NE(w.state.load() & L::kGoBit, 0u);
+    w.next.store(&s);  // the successor finishes linking in
+    lock.end_write(w);
+    EXPECT_NE(s.state.load() & L::kGoBit, 0u);  // handoff reached it
+    lock.end_write(s);
+    EXPECT_EQ(Peer::tail(lock), nullptr);
+}
+
+// Native torture over every try/blocking combination: a try-writer and
+// a blocking writer racing reader pairs that continually form and
+// partially drain groups. Exercises retraction (tail CAS back), the
+// commit-on-successor path, and reuse of the retracted node, under
+// TSan in CI.
+TEST(QueueRwTryTest, TryWriteStormKeepsExclusionOnNativeThreads)
+{
+    using L = QueueRwLock<NativePlatform>;
+    L lock;
+    long a = 0, b = 0;  // writer-updated pair; invariant a == b
+    std::atomic<bool> violation{false};
+    std::atomic<long> try_wins{0};
+    std::atomic<bool> stop{false};
+    constexpr std::uint32_t kIters = 2000;
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        pool.emplace_back([&] {
+            // Single non-nested reads: a reader must never hold one
+            // read lock while queuing for another — behind the
+            // blocking writer that nesting deadlocks (the writer
+            // waits for the held read to drain, the nested read waits
+            // for the writer). Drained-group states still form
+            // whenever the two readers overlap and the later-queued
+            // one leaves first.
+            for (std::uint32_t i = 0; i < kIters; ++i) {
+                typename L::Node r;
+                lock.start_read(r);
+                if (a != b)
+                    violation.store(true);
+                lock.end_read(r);
+            }
+        });
+    }
+    pool.emplace_back([&] {  // blocking writer
+        for (std::uint32_t i = 0; i < kIters; ++i) {
+            typename L::Node n;
+            lock.lock_write(n);
+            const long cur = a;
+            a = cur + 1;
+            b = cur + 1;
+            lock.unlock_write(n);
+        }
+    });
+    pool.emplace_back([&] {  // try-writer
+        while (!stop.load(std::memory_order_relaxed)) {
+            typename L::Node n;
+            if (lock.try_start_write(n) != L::Outcome::kInvalid) {
+                const long cur = a;
+                a = cur + 1;
+                b = cur + 1;
+                try_wins.fetch_add(1, std::memory_order_relaxed);
+                lock.end_write(n);
+            }
+        }
+    });
+    for (std::size_t t = 0; t + 1 < pool.size(); ++t)
+        pool[t].join();
+    stop.store(true);
+    pool.back().join();
+    EXPECT_FALSE(violation.load());
+    EXPECT_EQ(a, static_cast<long>(kIters) + try_wins.load());
+    EXPECT_EQ(b, a);
 }
 
 // ---- reactive rwlock: protocol-switch correctness ---------------------
