@@ -87,6 +87,18 @@ std::uint32_t barrier_episodes(std::uint32_t procs, bool full)
     return 30 * scale;
 }
 
+/// The two-protocol tables measure the thesis-style spread-signal
+/// configuration (their notes price its stamp/min-combine machinery
+/// against ideal); free_monitoring — default-on since the NUMA PR —
+/// would null that comparison, so these rows opt back into the spread
+/// path and stay comparable with their historical numbers.
+ReactiveBarrierParams spread_signal_params()
+{
+    ReactiveBarrierParams p;
+    p.free_monitoring = false;
+    return p;
+}
+
 /// Simulated cycles per episode for one pre-built barrier at one
 /// (regime, procs) point.
 template <typename B>
@@ -107,7 +119,13 @@ template <typename B>
 double sim_cycles_fresh(std::uint32_t procs, bool skewed, bool full,
                         std::uint64_t seed)
 {
-    return sim_cycles_per_episode(std::make_shared<B>(procs), procs,
+    std::shared_ptr<B> bar;
+    if constexpr (std::is_constructible_v<B, std::uint32_t,
+                                          ReactiveBarrierParams>)
+        bar = std::make_shared<B>(procs, spread_signal_params());
+    else
+        bar = std::make_shared<B>(procs);
+    return sim_cycles_per_episode(std::move(bar), procs,
                                   barrier_episodes(procs, full), skewed,
                                   seed);
 }
@@ -255,7 +273,15 @@ template <typename B>
 double native_ns_per_episode(std::uint32_t threads, std::uint32_t episodes,
                              std::uint64_t straggle_cycles)
 {
-    B bar(threads);
+    auto make = [&] {
+        if constexpr (std::is_constructible_v<B, std::uint32_t,
+                                              ReactiveBarrierParams>)
+            return std::make_shared<B>(threads, spread_signal_params());
+        else
+            return std::make_shared<B>(threads);
+    };
+    auto bar_ptr = make();
+    B& bar = *bar_ptr;
     std::vector<std::thread> pool;
     const auto t0 = std::chrono::steady_clock::now();
     for (std::uint32_t t = 0; t < threads; ++t) {
@@ -378,7 +404,8 @@ int main(int argc, char** argv)
                               1000.0,
                           0),
                "-"});
-        auto reactive = std::make_shared<ReactiveBarrierSim>(32);
+        auto reactive =
+            std::make_shared<ReactiveBarrierSim>(32, spread_signal_params());
         t.row({"reactive",
                stats::fmt(apps::run_barrier_phases<ReactiveBarrierSim>(
                               32, phases, eps, 30000, 200, args.seed,

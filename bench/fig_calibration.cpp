@@ -228,10 +228,22 @@ CalibratedCompetitive3Policy::Params barrier_policy_params(
     return p;
 }
 
+/// This figure measures the thesis-style spread-signal configuration
+/// (its calibrated rows re-derive thresholds from measured episode
+/// *spreads*), which free_monitoring — default-on since the NUMA PR —
+/// replaces; every barrier row opts back into the spread path so the
+/// table keeps measuring what its notes describe.
+ReactiveBarrierParams barrier_params_spread()
+{
+    ReactiveBarrierParams p;
+    p.free_monitoring = false;
+    return p;
+}
+
 ReactiveBarrierParams barrier_params_calibrated(std::uint32_t seed_scale_num,
                                                 std::uint32_t seed_scale_den)
 {
-    ReactiveBarrierParams p;
+    ReactiveBarrierParams p = barrier_params_spread();
     p.calibrate = true;
     p.bunched_cycles_per_arrival =
         p.bunched_cycles_per_arrival * seed_scale_num / seed_scale_den;
@@ -277,8 +289,8 @@ void barrier_regime_table(const char* title, const char* regime, bool skewed,
         rows[1].push_back(barrier_cycles_per_episode(
             std::make_shared<TreeSim>(p, 4), p, episodes, skewed, args.seed));
         rows[2].push_back(barrier_cycles_per_episode(
-            std::make_shared<ReactiveBarSim>(p), p, episodes, skewed,
-            args.seed));
+            std::make_shared<ReactiveBarSim>(p, barrier_params_spread()),
+            p, episodes, skewed, args.seed));
         rows[3].push_back(barrier_cycles_per_episode(
             std::make_shared<ReactiveBarCal>(
                 p, barrier_params_calibrated(10, 1),
@@ -460,8 +472,8 @@ void native_tables(const BenchArgs& args)
             opt.pin_failures = &pin_failures;
             CentralBarrier<NativePlatform> central(c);
             CombiningTreeBarrier<NativePlatform> tree(c, 4);
-            ReactiveBarrier<NativePlatform> rea(c);
-            ReactiveBarrierParams cal_params;
+            ReactiveBarrier<NativePlatform> rea(c, barrier_params_spread());
+            ReactiveBarrierParams cal_params = barrier_params_spread();
             cal_params.calibrate = true;
             ReactiveBarrier<NativePlatform, CalibratedCompetitive3Policy> cal(
                 c, cal_params,

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -266,10 +267,16 @@ template <typename L>
 std::uint64_t run_lock_cycle(std::uint32_t procs, std::uint32_t iters,
                              std::uint32_t cs, std::uint32_t think,
                              std::uint64_t seed = 1,
-                             std::shared_ptr<L> lock = nullptr)
+                             std::shared_ptr<L> lock = nullptr,
+                             sim::Topology topo = {})
 {
-    sim::Machine m(procs, sim::CostModel::alewife(), seed);
-    auto l = lock ? std::move(lock) : std::make_shared<L>();
+    sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
+    std::shared_ptr<L> l = std::move(lock);
+    if constexpr (std::is_default_constructible_v<L>) {
+        if (!l)
+            l = std::make_shared<L>();
+    }
+    assert(l != nullptr && "lock type without default ctor must be passed in");
     for (std::uint32_t p = 0; p < procs; ++p) {
         m.spawn(p, [=] {
             typename L::Node node;
@@ -425,9 +432,10 @@ template <Barrier B>
 std::uint64_t run_barrier_uniform(std::uint32_t procs, std::uint32_t episodes,
                                   std::uint32_t compute = 400,
                                   std::uint64_t seed = 1,
-                                  std::shared_ptr<B> barrier = nullptr)
+                                  std::shared_ptr<B> barrier = nullptr,
+                                  sim::Topology topo = {})
 {
-    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
     auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
     for (std::uint32_t p = 0; p < procs; ++p) {
@@ -464,9 +472,10 @@ std::uint64_t run_barrier_straggler(std::uint32_t procs,
                                     std::uint32_t straggle = 30000,
                                     std::uint32_t compute = 200,
                                     std::uint64_t seed = 1,
-                                    std::shared_ptr<B> barrier = nullptr)
+                                    std::shared_ptr<B> barrier = nullptr,
+                                    sim::Topology topo = {})
 {
-    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
     auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
     for (std::uint32_t p = 0; p < procs; ++p) {
@@ -499,9 +508,10 @@ std::uint64_t run_barrier_phases(std::uint32_t procs, std::uint32_t phases,
                                  std::uint32_t straggle = 30000,
                                  std::uint32_t compute = 200,
                                  std::uint64_t seed = 1,
-                                 std::shared_ptr<B> barrier = nullptr)
+                                 std::shared_ptr<B> barrier = nullptr,
+                                 sim::Topology topo = {})
 {
-    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
     auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
     for (std::uint32_t p = 0; p < procs; ++p) {

@@ -47,6 +47,16 @@ struct BarrierSlotOptions {
     bool track_signals = false;
     /// Arrival fan-in of tree-shaped protocols.
     std::uint32_t fan_in = 4;
+    /// Topology-aware placement (tree-shaped protocols): with
+    /// sockets >= 2, participants are assigned to leaves by the socket
+    /// their platform reports (TopologyAwarePlatform), per-level
+    /// fan-in groups are carved from the socket geometry so no fan-in
+    /// group ever straddles a socket, and sockets combine only at the
+    /// top of the tree. The default keeps the historical
+    /// topology-blind layout bit-for-bit.
+    std::uint32_t sockets = 1;
+    /// Participants per socket (0 = balanced, ceil(P / sockets)).
+    std::uint32_t cores_per_socket = 0;
 };
 
 /**

@@ -33,6 +33,18 @@
  * visit, contended by at most k processes), so the completer learns the
  * episode's first-arrival stamp without any global hot line — the
  * signal the reactive barrier's switching policy samples.
+ *
+ * Topology-aware placement (`BarrierSlotOptions::sockets >= 2`):
+ * participants are assigned leaf ids from their own socket's contiguous
+ * range (the platform names the socket, TopologyAwarePlatform), fan-in
+ * groups are carved from each socket's population so no group ever
+ * straddles a socket boundary, and per-socket subtrees combine only in
+ * the top levels of the tree. Every contended line below the socket
+ * roots is then shared exclusively within one socket — the climb's
+ * remote misses are all intra-socket transfers — and only the O(log
+ * sockets) top levels pay cross-socket traffic, instead of every level
+ * of a blind round-robin layout. The default (one socket) reproduces
+ * the historical topology-blind tree bit-for-bit.
  */
 #pragma once
 
@@ -41,6 +53,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "barrier/barrier_concepts.hpp"
@@ -96,7 +109,8 @@ class CombiningTreeBarrier {
 
     /// BarrierProtocolSlot construction (core/protocol_set.hpp).
     CombiningTreeBarrier(std::uint32_t participants, BarrierSlotOptions opts)
-        : CombiningTreeBarrier(participants, opts.fan_in, opts.track_signals)
+        : CombiningTreeBarrier(participants, opts.fan_in, opts.track_signals,
+                               opts.sockets, opts.cores_per_socket)
     {
     }
 
@@ -106,34 +120,32 @@ class CombiningTreeBarrier {
      * @param track_arrival_spread combine first-arrival stamps up the
      *                             tree for the reactive policy (adds one
      *                             CAS per node visit).
+     * @param sockets              topology-aware placement when >= 2
+     *                             (see BarrierSlotOptions).
+     * @param cores_per_socket     participants per socket (0 = balanced).
      */
     explicit CombiningTreeBarrier(std::uint32_t participants,
                                   std::uint32_t fan_in = 4,
-                                  bool track_arrival_spread = false)
+                                  bool track_arrival_spread = false,
+                                  std::uint32_t sockets = 1,
+                                  std::uint32_t cores_per_socket = 0)
         : participants_(participants),
           fan_in_(fan_in < 2 ? 2 : fan_in),
           track_(track_arrival_spread),
-          nodes_(total_nodes(participants, fan_in_))
+          sockets_(sockets < 1 ? 1
+                               : (sockets > participants && participants > 0
+                                      ? participants
+                                      : sockets)),
+          leaf_of_(participants)
     {
-        const std::vector<std::uint32_t> sizes =
-            level_sizes(participants, fan_in_);
-        std::uint32_t off = 0;
-        for (std::size_t l = 0; l < sizes.size(); ++l) {
-            const std::uint32_t below =
-                l == 0 ? participants_ : sizes[l - 1];
-            const std::uint32_t parent_off = off + sizes[l];
-            for (std::uint32_t i = 0; i < sizes[l]; ++i) {
-                TreeNode& t = nodes_[off + i];
-                t.init_count =
-                    std::min(fan_in_, below - i * fan_in_);
-                t.count.store(t.init_count, std::memory_order_relaxed);
-                t.min_stamp.store(kNoStamp, std::memory_order_relaxed);
-                t.sense->store(0, std::memory_order_relaxed);
-                t.parent = l + 1 < sizes.size()
-                               ? &nodes_[parent_off + i / fan_in_]
-                               : nullptr;
-            }
-            off += sizes[l];
+        build_segments(cores_per_socket);
+        build_tree();
+        if (sockets_ > 1) {
+            socket_next_ = std::make_unique<
+                CacheAligned<typename P::template Atomic<std::uint32_t>>[]>(
+                sockets_);
+            for (std::uint32_t s = 0; s < sockets_; ++s)
+                socket_next_[s]->store(0, std::memory_order_relaxed);
         }
     }
 
@@ -165,19 +177,18 @@ class CombiningTreeBarrier {
     BarrierEpisode arrive_only(Node& n)
     {
         if (!n.assigned) {
-            n.id = next_id_.fetch_add(1, std::memory_order_relaxed);
             // Oversubscription would wrap into a duplicate id and
-            // silently corrupt the per-leaf arrival counts; fail fast
-            // (same discipline as the dissemination barrier).
-            if (n.id >= participants_)
-                std::abort();
+            // silently corrupt the per-leaf arrival counts; assign_id
+            // fails fast (same discipline as the dissemination
+            // barrier).
+            n.id = assign_id();
             n.assigned = true;
         }
         n.sense ^= 1u;
         n.depth = 0;
         const std::uint64_t t0 = P::now();
         std::uint64_t carry = t0;
-        TreeNode* t = &nodes_[n.id / fan_in_];
+        TreeNode* t = &nodes_[leaf_of_[n.id]];
         for (;;) {
             if (track_)
                 deposit_min(t, carry);
@@ -230,24 +241,186 @@ class CombiningTreeBarrier {
   private:
     static constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
 
-    static std::vector<std::uint32_t> level_sizes(std::uint32_t participants,
-                                                  std::uint32_t fan_in)
+    /**
+     * Distributes the participant ids over the sockets: contiguous
+     * ranges of cores_per_socket ids per socket (balanced when 0),
+     * any remainder absorbed by the last socket so every id has a
+     * home. With one socket the single segment covers everything and
+     * the construction below reproduces the historical flat tree
+     * bit-for-bit.
+     */
+    void build_segments(std::uint32_t cores_per_socket)
     {
-        std::vector<std::uint32_t> sizes;
-        std::uint32_t sz = (participants + fan_in - 1) / fan_in;
-        sizes.push_back(sz < 1 ? 1 : sz);
-        while (sizes.back() > 1)
-            sizes.push_back((sizes.back() + fan_in - 1) / fan_in);
-        return sizes;
+        const std::uint32_t cps =
+            cores_per_socket != 0
+                ? cores_per_socket
+                : (participants_ + sockets_ - 1) / sockets_;
+        socket_caps_.assign(sockets_, 0);
+        socket_base_.assign(sockets_, 0);
+        std::uint32_t assigned = 0;
+        for (std::uint32_t s = 0; s < sockets_; ++s) {
+            socket_base_[s] = assigned;
+            socket_caps_[s] = std::min(cps, participants_ - assigned);
+            assigned += socket_caps_[s];
+        }
+        socket_caps_[sockets_ - 1] += participants_ - assigned;
     }
 
-    static std::uint32_t total_nodes(std::uint32_t participants,
-                                     std::uint32_t fan_in)
+    /**
+     * Splits @p n children into ceil(n/k) fan-in groups. The flat path
+     * uses the historical ragged split (full groups, then the
+     * remainder) — bit-identical to the pre-topology construction —
+     * while the socketed path uses near-equal groups: the tallest
+     * group bounds a level's serialization, so a 6-core socket at
+     * fan-in 4 fans in 3+3, not 4+2. This is the "per-level fan-in
+     * chosen from socket geometry": group sizes are carved from each
+     * socket's population, never across one.
+     */
+    static void split_groups(std::uint32_t n, std::uint32_t k, bool balanced,
+                             std::vector<std::uint32_t>& sizes)
     {
-        std::uint32_t total = 0;
-        for (std::uint32_t s : level_sizes(participants, fan_in))
-            total += s;
-        return total;
+        const std::uint32_t groups = (n + k - 1) / k;
+        if (!balanced) {
+            for (std::uint32_t g = 0; g < groups; ++g)
+                sizes.push_back(std::min(k, n - g * k));
+            return;
+        }
+        const std::uint32_t base = n / groups;
+        const std::uint32_t rem = n % groups;
+        for (std::uint32_t g = 0; g < groups; ++g)
+            sizes.push_back(base + (g < rem ? 1 : 0));
+    }
+
+    /**
+     * Builds the arrival tree over the socket segments: fan-in groups
+     * are formed strictly within a segment until each segment has
+     * combined to a single node (a segment already down to one node
+     * passes through with no intermediate — its arrivals must not pay
+     * levels other sockets still need), then the per-socket roots
+     * combine in the unique cross-socket levels at the top. With one
+     * segment this is exactly the historical level-by-level ragged
+     * construction.
+     */
+    void build_tree()
+    {
+        const bool topo = sockets_ > 1;
+        struct CurNode {
+            std::uint32_t phys;  ///< physical node id (creation order)
+            std::uint32_t seg;   ///< socket segment it still belongs to
+        };
+        std::vector<std::uint32_t> counts;      // per-physical init_count
+        std::vector<std::int32_t> parent_idx;   // per-physical parent (-1 root)
+
+        // Leaves: group each segment's participants.
+        std::vector<CurNode> cur;
+        std::vector<std::uint32_t> sizes;
+        for (std::uint32_t s = 0; s < (topo ? sockets_ : 1u); ++s) {
+            const std::uint32_t cap = topo ? socket_caps_[s] : participants_;
+            if (cap == 0)
+                continue;
+            std::uint32_t id = topo ? socket_base_[s] : 0;
+            sizes.clear();
+            split_groups(cap, fan_in_, topo, sizes);
+            for (std::uint32_t sz : sizes) {
+                const auto phys = static_cast<std::uint32_t>(counts.size());
+                for (std::uint32_t j = 0; j < sz; ++j)
+                    leaf_of_[id++] = phys;
+                counts.push_back(sz);
+                parent_idx.push_back(-1);
+                cur.push_back({phys, s});
+            }
+        }
+
+        bool merged = !topo;
+        while (cur.size() > 1) {
+            if (!merged) {
+                bool all_single = true;
+                for (std::size_t i = 1; i < cur.size(); ++i) {
+                    if (cur[i].seg == cur[i - 1].seg) {
+                        all_single = false;
+                        break;
+                    }
+                }
+                if (all_single) {
+                    merged = true;  // per-socket roots: combine across
+                    for (CurNode& n : cur)
+                        n.seg = 0;
+                }
+            }
+            std::vector<CurNode> next;
+            std::size_t i = 0;
+            while (i < cur.size()) {
+                std::size_t j = i;
+                while (j < cur.size() && cur[j].seg == cur[i].seg)
+                    ++j;
+                if (j - i == 1 && !merged) {
+                    next.push_back(cur[i]);  // pass-through segment root
+                    i = j;
+                    continue;
+                }
+                sizes.clear();
+                split_groups(static_cast<std::uint32_t>(j - i), fan_in_,
+                             topo, sizes);
+                std::size_t child = i;
+                for (std::uint32_t sz : sizes) {
+                    const auto phys =
+                        static_cast<std::uint32_t>(counts.size());
+                    counts.push_back(sz);
+                    parent_idx.push_back(-1);
+                    for (std::uint32_t c = 0; c < sz; ++c)
+                        parent_idx[cur[child++].phys] =
+                            static_cast<std::int32_t>(phys);
+                    next.push_back({phys, cur[i].seg});
+                }
+                i = j;
+            }
+            cur = std::move(next);
+        }
+
+        total_nodes_ = static_cast<std::uint32_t>(counts.size());
+        nodes_ = std::make_unique<TreeNode[]>(total_nodes_);
+        for (std::uint32_t n = 0; n < total_nodes_; ++n) {
+            TreeNode& t = nodes_[n];
+            t.init_count = counts[n];
+            t.count.store(t.init_count, std::memory_order_relaxed);
+            t.min_stamp.store(kNoStamp, std::memory_order_relaxed);
+            t.sense->store(0, std::memory_order_relaxed);
+            t.parent =
+                parent_idx[n] >= 0 ? &nodes_[parent_idx[n]] : nullptr;
+        }
+    }
+
+    /**
+     * First-arrival id assignment. Flat: the historical global counter.
+     * Socketed: the next id in the arriver's own socket's range, so its
+     * whole climb to the socket root stays on lines shared only within
+     * that socket; a socket whose range is exhausted (placement did not
+     * match the declared geometry) spills deterministically to the next
+     * socket with space — mis-placed, but never corrupt. Ids never
+     * exceed the participant count: oversubscription aborts either way.
+     */
+    std::uint32_t assign_id()
+    {
+        if (sockets_ <= 1) {
+            const std::uint32_t id =
+                next_id_.fetch_add(1, std::memory_order_relaxed);
+            if (id >= participants_)
+                std::abort();
+            return id;
+        }
+        std::uint32_t s = platform_socket<P>();
+        if (s >= sockets_)
+            s = sockets_ - 1;
+        for (std::uint32_t tries = 0; tries < sockets_; ++tries) {
+            const std::uint32_t t = (s + tries) % sockets_;
+            if (socket_caps_[t] == 0)
+                continue;
+            const std::uint32_t local =
+                socket_next_[t]->fetch_add(1, std::memory_order_relaxed);
+            if (local < socket_caps_[t])
+                return socket_base_[t] + local;
+        }
+        std::abort();  // oversubscribed: every socket range exhausted
     }
 
     /// Folds @p stamp into the node's episode minimum.
@@ -272,8 +445,19 @@ class CombiningTreeBarrier {
     const std::uint32_t participants_;
     const std::uint32_t fan_in_;
     const bool track_;
-    std::vector<TreeNode> nodes_;  ///< [leaves | level 1 | ... | root]
+    const std::uint32_t sockets_;
+    std::vector<std::uint32_t> socket_caps_;  ///< participants per socket
+    std::vector<std::uint32_t> socket_base_;  ///< first id of each socket
+    std::vector<std::uint32_t> leaf_of_;      ///< participant id -> leaf node
+    std::uint32_t total_nodes_ = 0;
+    /// Creation order [leaves | combining levels | root]; per-socket
+    /// subtrees are contiguous under topology-aware placement.
+    std::unique_ptr<TreeNode[]> nodes_;
     typename P::template Atomic<std::uint32_t> next_id_{0};
+    /// Per-socket id counters (socketed placement only), each on its
+    /// own line: the assignment RMW stays socket-local.
+    std::unique_ptr<CacheAligned<typename P::template Atomic<std::uint32_t>>[]>
+        socket_next_;
 };
 
 }  // namespace reactive

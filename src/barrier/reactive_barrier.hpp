@@ -97,6 +97,12 @@ namespace reactive {
 struct ReactiveBarrierParams {
     /// Arrival fan-in of tree-shaped slot protocols.
     std::uint32_t fan_in = 4;
+    /// Topology-aware slot placement (BarrierSlotOptions): with
+    /// sockets >= 2, tree-shaped slots assign leaves by socket so
+    /// fan-in groups never straddle a socket boundary.
+    std::uint32_t sockets = 1;
+    /// Participants per socket (0 = balanced, ceil(P / sockets)).
+    std::uint32_t cores_per_socket = 0;
     /// An episode whose arrival spread is below participants * this is
     /// "bunched": the central counter would serialize the arrivals.
     /// Sized to a directory-serialized RMW plus slack on the simulated
@@ -139,11 +145,17 @@ struct ReactiveBarrierParams {
      * tracking off, so the reactive barrier executes the *identical
      * shared-memory operations* as the static protocol it is parked
      * in — monitoring cost measured in the fig_barrier tables drops
-     * from up to ~40% of a short bunched episode to zero. Default off:
-     * the spread path is the thesis-style signal and keeps the
-     * two-protocol tables bit-compatible.
+     * from up to ~40% of a short bunched episode to zero. **Default
+     * on** since the NUMA PR (the spread machinery measurably costs up
+     * to ~40% of a short bunched episode; see DESIGN.md): a parked
+     * reactive barrier executes the static protocol's exact memory
+     * operations, asserted by a mem-op-count regression test. The
+     * spread path stays available behind `= false` as the thesis-style
+     * signal for one deprecation PR; fig_barrier's two-protocol tables
+     * opt back into it to stay comparable with their historical
+     * numbers.
      */
-    bool free_monitoring = false;
+    bool free_monitoring = true;
     /// Consecutive episodes completed by the same participant that
     /// classify the regime as straggler-dominated (free monitoring).
     std::uint32_t skew_completer_streak = 3;
@@ -206,7 +218,10 @@ class ReactiveBarrier {
                     Policy policy = Policy{})
         : set_(participants,
                BarrierSlotOptions{/*track_signals=*/!params.free_monitoring,
-                                  /*fan_in=*/params.fan_in}),
+                                  /*fan_in=*/params.fan_in,
+                                  /*sockets=*/params.sockets,
+                                  /*cores_per_socket=*/
+                                  params.cores_per_socket}),
           participants_(participants),
           params_(params),
           rmw_floor_(params.bunched_cycles_per_arrival /
@@ -304,6 +319,15 @@ class ReactiveBarrier {
     /// Calibrating policies additionally receive each episode's spread
     /// as a cost sample (see episode_consensus).
     static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
+
+    /// Socket-aware policies also receive the socket-of-previous-
+    /// completer bit: an episode whose consensus moved across sockets
+    /// carried its hot lines with it, the barrier analogue of the
+    /// lock's handoff-locality split (SocketHandoffTracker;
+    /// completer-only plain state).
+    static constexpr bool kSocketAware = SocketAwareSelect<Select>;
+
+    bool note_completer_socket() { return completer_socket_.note_handoff(); }
 
     /**
      * The completer's in-consensus step, run after its arrival and
@@ -418,10 +442,16 @@ class ReactiveBarrier {
         const ProtocolSignal sig{m, drift};
         std::uint32_t next;
         if constexpr (kCalibrating) {
-            if (params_.free_monitoring && sample == 0)
+            if (params_.free_monitoring && sample == 0) {
+                if constexpr (kSocketAware)
+                    (void)note_completer_socket();
                 next = select_.next_protocol(sig);  // no period yet
-            else
+            } else if constexpr (kSocketAware) {
+                next = select_.next_protocol(sig, sample,
+                                             note_completer_socket());
+            } else {
                 next = select_.next_protocol(sig, sample);
+            }
         } else {
             next = select_.next_protocol(sig);
         }
@@ -478,6 +508,9 @@ class ReactiveBarrier {
     std::uint64_t prev_end_ = 0;
     const void* prev_completer_ = nullptr;
     std::uint32_t completer_streak_ = 0;
+    // Socket of the previous completer (socket-aware policies only;
+    // mutated in-consensus only).
+    SocketHandoffTracker<P> completer_socket_;
 };
 
 }  // namespace reactive

@@ -108,6 +108,75 @@ struct EwmaStat {
     static constexpr std::uint32_t kFastStartSamples = 4;
 };
 
+/**
+ * One latency class split by a socket-of-previous-holder bit (the
+ * NUMA two-level estimator terms): on a multi-socket host the same
+ * class has two populations — the handoff stayed on the holder's
+ * socket, or it crossed — and a single EWMA sits between them,
+ * tracking neither. The split keeps one EWMA per population plus an
+ * EWMA of the cross fraction, and reports the fraction-weighted blend:
+ * the *expected* cost of the next acquisition under the observed
+ * traffic mix, which is exactly what the switch-threshold arithmetic
+ * wants. The caller provides the bit for free — the holder knows its
+ * own socket, and the previous holder's socket is holder-only state.
+ *
+ * Until a cross-socket sample arrives (always, on flat hosts) the
+ * blend *is* the local EWMA, updated with the identical sequence a
+ * plain EwmaStat would see — flat behavior is bit-identical.
+ */
+struct SocketSplitStat {
+    EwmaStat local;   ///< previous holder on the caller's socket
+    EwmaStat remote;  ///< previous holder on another socket
+    /// EWMA of the cross indicator, scaled by 256 (gain 1/8).
+    std::uint32_t cross_frac = 0;
+
+    explicit SocketSplitStat(std::uint64_t seed) : local(seed), remote(seed)
+    {
+    }
+
+    void update(std::uint64_t sample, std::uint32_t shift, bool cross)
+    {
+        (cross ? remote : local).update(sample, shift);
+        update_frac(cross);
+    }
+
+    /// Placeholder-seed intake (EwmaStat::observe): the population's
+    /// first observation replaces its seed outright.
+    void observe(std::uint64_t sample, std::uint32_t shift, bool cross)
+    {
+        (cross ? remote : local).observe(sample, shift);
+        update_frac(cross);
+    }
+
+  private:
+    void update_frac(bool cross)
+    {
+        const std::int32_t diff =
+            (cross ? 256 : 0) - static_cast<std::int32_t>(cross_frac);
+        std::int32_t step = diff >> 3;
+        if (step == 0 && diff != 0)
+            step = diff > 0 ? 1 : -1;
+        cross_frac = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(cross_frac) + step);
+    }
+
+  public:
+    /// Fraction-weighted blend of the two populations (or whichever
+    /// one has been observed).
+    std::uint64_t value() const
+    {
+        if (remote.count == 0)
+            return local.value;
+        if (local.count == 0)
+            return remote.value;
+        return (local.value * (256 - cross_frac) +
+                remote.value * cross_frac) >>
+               8;
+    }
+
+    std::uint32_t count() const { return local.count + remote.count; }
+};
+
 // clang-format off
 /**
  * Refinement of SwitchPolicy for policies that consume runtime cost
@@ -136,6 +205,22 @@ concept FastPathAwarePolicy =
     SwitchPolicy<P> &&
     requires(P p) {
         { p.on_tts_fast_acquire() } -> std::same_as<void>;
+    };
+
+/**
+ * Further refinement of CalibratingSwitchPolicy: the three-argument
+ * observations additionally carry the socket-of-previous-holder bit
+ * (true = the handoff crossed a socket boundary), routing the sample
+ * into the split latency classes (SocketSplitStat). The decision
+ * logic is unchanged — the split only sharpens the estimates the
+ * existing thresholds are computed from.
+ */
+template <typename P>
+concept SocketAwareCalibratingPolicy =
+    CalibratingSwitchPolicy<P> &&
+    requires(P p, bool b, std::uint64_t c, bool x) {
+        { p.on_tts_acquire(b, c, x) } -> std::same_as<bool>;
+        { p.on_queue_acquire(b, c, x) } -> std::same_as<bool>;
     };
 // clang-format on
 
@@ -242,18 +327,23 @@ class alignas(kCacheLineSize) CostEstimator {
     }
 
     // ---- sample intake (in-consensus callers only) -------------------
+    //
+    // The optional @p cross bit names the socket-of-previous-holder
+    // population the sample belongs to (SocketSplitStat); callers
+    // without topology knowledge omit it and feed the local class —
+    // the exact pre-split behavior.
 
-    void sample_tts(bool contended, std::uint64_t cycles)
+    void sample_tts(bool contended, std::uint64_t cycles, bool cross = false)
     {
         Stat& s = contended ? tts_contended_ : tts_uncontended_;
-        s.update(cycles, params_.ewma_shift);
+        s.update(cycles, params_.ewma_shift, cross);
         tts_overall_.update(cycles, params_.ewma_shift);
     }
 
-    void sample_queue(bool empty, std::uint64_t cycles)
+    void sample_queue(bool empty, std::uint64_t cycles, bool cross = false)
     {
         Stat& s = empty ? queue_empty_ : queue_waited_;
-        s.update(cycles, params_.ewma_shift);
+        s.update(cycles, params_.ewma_shift, cross);
         queue_overall_.update(cycles, params_.ewma_shift);
     }
 
@@ -273,13 +363,13 @@ class alignas(kCacheLineSize) CostEstimator {
     /// arithmetic stays well-defined when the estimates cross.
     std::uint64_t residual_tts_contended() const
     {
-        return diff_or_one(tts_contended_.value, queue_waited_.value);
+        return diff_or_one(tts_contended_.value(), queue_waited_.value());
     }
 
     /// Measured residual of an empty-queue acquisition vs. TTS.
     std::uint64_t residual_queue_empty() const
     {
-        return diff_or_one(queue_empty_.value, tts_uncontended_.value);
+        return diff_or_one(queue_empty_.value(), tts_uncontended_.value());
     }
 
     /// Measured residual of a *loaded* queue acquisition vs. a
@@ -288,7 +378,7 @@ class alignas(kCacheLineSize) CostEstimator {
     /// home. Used as per-request adoption evidence during probes.
     std::uint64_t residual_queue_waited() const
     {
-        return diff_or_one(queue_waited_.value, tts_uncontended_.value);
+        return diff_or_one(queue_waited_.value(), tts_uncontended_.value());
     }
 
     /// Estimated switch round trip (there and back again), scaled from
@@ -304,20 +394,39 @@ class alignas(kCacheLineSize) CostEstimator {
 
     // ---- raw estimates (tests, diagnostics) --------------------------
 
-    std::uint64_t tts_uncontended() const { return tts_uncontended_.value; }
-    std::uint64_t tts_contended() const { return tts_contended_.value; }
-    std::uint64_t queue_empty() const { return queue_empty_.value; }
-    std::uint64_t queue_waited() const { return queue_waited_.value; }
+    std::uint64_t tts_uncontended() const { return tts_uncontended_.value(); }
+    std::uint64_t tts_contended() const { return tts_contended_.value(); }
+    std::uint64_t queue_empty() const { return queue_empty_.value(); }
+    std::uint64_t queue_waited() const { return queue_waited_.value(); }
     std::uint64_t switch_one_way() const { return switch_one_way_.value; }
     std::uint64_t samples() const
     {
-        return tts_uncontended_.count + tts_contended_.count +
-               queue_empty_.count + queue_waited_.count +
+        return tts_uncontended_.count() + tts_contended_.count() +
+               queue_empty_.count() + queue_waited_.count() +
                switch_one_way_.count;
     }
 
+    /// Split-population views (tests, diagnostics).
+    const SocketSplitStat& split_tts_contended() const
+    {
+        return tts_contended_;
+    }
+    const SocketSplitStat& split_tts_uncontended() const
+    {
+        return tts_uncontended_;
+    }
+    const SocketSplitStat& split_queue_empty() const { return queue_empty_; }
+    const SocketSplitStat& split_queue_waited() const
+    {
+        return queue_waited_;
+    }
+
   private:
-    using Stat = EwmaStat;
+    /// The four latency classes are socket-split; the switch cost and
+    /// the overall probe baselines stay single-population (a switch is
+    /// not a handoff, and the baselines average the traffic mix by
+    /// construction).
+    using Stat = SocketSplitStat;
 
     static std::uint64_t diff_or_one(std::uint64_t a, std::uint64_t b)
     {
@@ -329,9 +438,9 @@ class alignas(kCacheLineSize) CostEstimator {
     Stat tts_contended_;
     Stat queue_empty_;
     Stat queue_waited_;
-    Stat switch_one_way_;
-    Stat tts_overall_;
-    Stat queue_overall_;
+    EwmaStat switch_one_way_;
+    EwmaStat tts_overall_;
+    EwmaStat queue_overall_;
 };
 
 /**
@@ -507,16 +616,31 @@ class CalibratedCompetitive3Policy {
 
     bool on_tts_acquire(bool contended, std::uint64_t cycles)
     {
-        if (!skip_next_sample_)
-            est_.sample_tts(contended, cycles);
-        skip_next_sample_ = false;
-        return tts_step(contended);
+        return on_tts_acquire(contended, cycles, /*cross=*/false);
     }
 
     bool on_queue_acquire(bool empty, std::uint64_t cycles)
     {
+        return on_queue_acquire(empty, cycles, /*cross=*/false);
+    }
+
+    // ---- SocketAwareCalibratingPolicy --------------------------------
+    //
+    // The extra bit routes the sample into the split latency classes;
+    // decisions are computed from the blended estimates either way.
+
+    bool on_tts_acquire(bool contended, std::uint64_t cycles, bool cross)
+    {
         if (!skip_next_sample_)
-            est_.sample_queue(empty, cycles);
+            est_.sample_tts(contended, cycles, cross);
+        skip_next_sample_ = false;
+        return tts_step(contended);
+    }
+
+    bool on_queue_acquire(bool empty, std::uint64_t cycles, bool cross)
+    {
+        if (!skip_next_sample_)
+            est_.sample_queue(empty, cycles, cross);
         skip_next_sample_ = false;
         return queue_step(empty);
     }
@@ -720,16 +844,28 @@ class CalibratedHysteresisPolicy {
 
     bool on_tts_acquire(bool contended, std::uint64_t cycles)
     {
-        if (!skip_next_sample_)
-            est_.sample_tts(contended, cycles);
-        skip_next_sample_ = false;
-        return on_tts_acquire(contended);
+        return on_tts_acquire(contended, cycles, /*cross=*/false);
     }
 
     bool on_queue_acquire(bool empty, std::uint64_t cycles)
     {
+        return on_queue_acquire(empty, cycles, /*cross=*/false);
+    }
+
+    // ---- SocketAwareCalibratingPolicy --------------------------------
+
+    bool on_tts_acquire(bool contended, std::uint64_t cycles, bool cross)
+    {
         if (!skip_next_sample_)
-            est_.sample_queue(empty, cycles);
+            est_.sample_tts(contended, cycles, cross);
+        skip_next_sample_ = false;
+        return on_tts_acquire(contended);
+    }
+
+    bool on_queue_acquire(bool empty, std::uint64_t cycles, bool cross)
+    {
+        if (!skip_next_sample_)
+            est_.sample_queue(empty, cycles, cross);
         skip_next_sample_ = false;
         return on_queue_acquire(empty);
     }
@@ -780,5 +916,7 @@ static_assert(FastPathAwarePolicy<CalibratedCompetitive3Policy>);
 static_assert(!FastPathAwarePolicy<CalibratedHysteresisPolicy>);
 static_assert(!CalibratingSwitchPolicy<Competitive3Policy>);
 static_assert(!CalibratingSwitchPolicy<HysteresisPolicy>);
+static_assert(SocketAwareCalibratingPolicy<CalibratedCompetitive3Policy>);
+static_assert(SocketAwareCalibratingPolicy<CalibratedHysteresisPolicy>);
 
 }  // namespace reactive

@@ -112,6 +112,19 @@ template <typename Pol>
 concept FastPathAwareSelect = requires(Pol p) {
     { p.on_tts_fast_acquire() } -> std::same_as<void>;
 };
+
+/**
+ * Select-side mirror of SocketAwareCalibratingPolicy: the
+ * three-argument observation additionally carries the
+ * socket-of-previous-holder bit, routing the cycle sample into split
+ * latency populations (SocketSplitStat). Decision logic unchanged.
+ */
+template <typename Pol>
+concept SocketAwareSelect =
+    CalibratingSelectPolicy<Pol> &&
+    requires(Pol p, ProtocolSignal s, std::uint64_t c, bool x) {
+        { p.next_protocol(s, c, x) } -> std::same_as<std::uint32_t>;
+    };
 // clang-format on
 
 /**
@@ -141,6 +154,17 @@ class SelectAdapter {
         const bool sw = s.protocol == 0
                             ? policy_.on_tts_acquire(s.drift > 0, cycles)
                             : policy_.on_queue_acquire(s.drift < 0, cycles);
+        return sw ? (s.protocol ^ 1u) : s.protocol;
+    }
+
+    std::uint32_t next_protocol(ProtocolSignal s, std::uint64_t cycles,
+                                bool cross)
+        requires SocketAwareCalibratingPolicy<Policy>
+    {
+        const bool sw =
+            s.protocol == 0
+                ? policy_.on_tts_acquire(s.drift > 0, cycles, cross)
+                : policy_.on_queue_acquire(s.drift < 0, cycles, cross);
         return sw ? (s.protocol ^ 1u) : s.protocol;
     }
 
@@ -474,7 +498,7 @@ class CalibratedLadderPolicy {
     explicit CalibratedLadderPolicy(Params p)
         : params_(p),
           n_(p.protocols < 2 ? 2 : p.protocols),
-          ewma_(n_, EwmaStat{0}),
+          ewma_(n_, SocketSplitStat{0}),
           age_(n_, 0),
           accounts_(n_, 0),
           bar_shift_(n_, 0),
@@ -496,12 +520,25 @@ class CalibratedLadderPolicy {
 
     std::uint32_t next_protocol(ProtocolSignal s, std::uint64_t cycles)
     {
+        return next_protocol(s, cycles, /*cross=*/false);
+    }
+
+    // ---- SocketAwareSelect -------------------------------------------
+    //
+    // Per-rung costs are socket-split (SocketSplitStat): on a
+    // multi-socket host each rung's episode cost has an intra- and a
+    // cross-socket-handoff population, and the rung ranking compares
+    // the traffic-mix blends.
+
+    std::uint32_t next_protocol(ProtocolSignal s, std::uint64_t cycles,
+                                bool cross)
+    {
         const std::uint32_t i = clamp(s.protocol);
         if (skip_next_sample_) {
             skip_next_sample_ = false;
         } else {
             // First observation replaces the empty seed outright.
-            ewma_[i].observe(cycles, params_.ewma_shift);
+            ewma_[i].observe(cycles, params_.ewma_shift, cross);
             age_[i] = 0;
         }
         return step(s);
@@ -530,7 +567,7 @@ class CalibratedLadderPolicy {
         if (n == n_)
             return;
         n_ = n < 2 ? 2 : n;
-        ewma_.assign(n_, EwmaStat{0});
+        ewma_.assign(n_, SocketSplitStat{0});
         age_.assign(n_, 0);
         accounts_.assign(n_, 0);
         bar_shift_.assign(n_, 0);
@@ -549,8 +586,8 @@ class CalibratedLadderPolicy {
     bool probing() const { return probe_ != Probe::kNone; }
     std::uint64_t probes_started() const { return probes_started_; }
     std::uint64_t adoptions() const { return adoptions_; }
-    std::uint64_t latency(std::uint32_t j) const { return ewma_[j].value; }
-    bool measured(std::uint32_t j) const { return ewma_[j].count > 0; }
+    std::uint64_t latency(std::uint32_t j) const { return ewma_[j].value(); }
+    bool measured(std::uint32_t j) const { return ewma_[j].count() > 0; }
     std::uint64_t account(std::uint32_t j) const { return accounts_[j]; }
     std::uint64_t switch_span() const { return switch_span_.value; }
 
@@ -623,14 +660,14 @@ class CalibratedLadderPolicy {
         probe_ = Probe::kNone;
         bool adopt = false;
         if (measured(i) && measured(home_)) {
-            const std::uint64_t probed = ewma_[i].value * 100;
+            const std::uint64_t probed = ewma_[i].value() * 100;
             const std::uint64_t margin = params_.adopt_margin_pct;
             // Scheduled probes need a measured win; drift-triggered
             // probes carry signal evidence and win measurement ties
             // (see file header).
             adopt = probe_from_drift_
-                        ? probed <= ewma_[home_].value * (100 + margin)
-                        : probed <= ewma_[home_].value * (100 - margin);
+                        ? probed <= ewma_[home_].value() * (100 + margin)
+                        : probed <= ewma_[home_].value() * (100 - margin);
         }
         if (adopt) {
             // Adoption: the regime moved. Re-arm every exploration
@@ -679,9 +716,9 @@ class CalibratedLadderPolicy {
                 continue;
             if (params_.probe_skip_factor != 0 && measured(j) &&
                 measured(i) &&
-                ewma_[j].value >
+                ewma_[j].value() >
                     static_cast<std::uint64_t>(params_.probe_skip_factor) *
-                        ewma_[i].value)
+                        ewma_[i].value())
                 continue;
             if (best == i ||
                 (accounts_[j] != accounts_[best]
@@ -694,7 +731,7 @@ class CalibratedLadderPolicy {
 
     std::uint64_t staleness(std::uint32_t j) const
     {
-        return ewma_[j].count == 0 ? ~std::uint64_t{0} : age_[j];
+        return ewma_[j].count() == 0 ? ~std::uint64_t{0} : age_[j];
     }
 
     std::uint64_t bar(std::uint32_t j) const
@@ -704,7 +741,7 @@ class CalibratedLadderPolicy {
 
     Params params_;
     std::uint32_t n_;
-    std::vector<EwmaStat> ewma_;
+    std::vector<SocketSplitStat> ewma_;
     std::vector<std::uint64_t> age_;
     std::vector<std::uint64_t> accounts_;
     std::vector<std::uint32_t> bar_shift_;

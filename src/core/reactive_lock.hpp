@@ -81,8 +81,14 @@ struct ReactiveLockParams {
  * @tparam P      Platform model.
  * @tparam Policy switching policy (Section 3.4): a binary SwitchPolicy
  *                or a two-protocol SelectPolicy.
+ * @tparam Queue  queue-protocol slot: any type speaking ReactiveQueue's
+ *                consensus-object dialect (acquire/Outcome, release,
+ *                acquire_invalid, invalidate). The default is the flat
+ *                MCS ReactiveQueue; CohortQueue (core/cohort_queue.hpp)
+ *                substitutes NUMA cohort handoff.
  */
-template <Platform P, typename Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Queue = ReactiveQueue<P>>
 class ReactiveLock {
   public:
     /// The select-interface view of the policy parameter.
@@ -105,7 +111,7 @@ class ReactiveLock {
     };
 
     /// Queue node; must live from acquire() to release().
-    using Node = typename ReactiveQueue<P>::Node;
+    using Node = typename Queue::Node;
 
     ReactiveLock() : ReactiveLock(ReactiveLockParams{}, Policy{}) {}
 
@@ -114,11 +120,19 @@ class ReactiveLock {
           params_(params),
           select_(std::move(policy))
     {
-        // Initial state per Figure 3.27: TTS valid and free, queue
-        // invalid, mode = TTS.
-        mode_->store(static_cast<std::uint32_t>(Mode::kTts),
-                     std::memory_order_relaxed);
-        tts_lock_.store(kFree, std::memory_order_relaxed);
+        init();
+    }
+
+    /// Queue-slot configuration pass-through (e.g. CohortQueue::Params).
+    template <typename QueueParams>
+        requires std::constructible_from<Queue, bool, QueueParams>
+    ReactiveLock(ReactiveLockParams params, Policy policy,
+                 const QueueParams& queue_params)
+        : queue_(/*initially_valid=*/false, queue_params),
+          params_(params),
+          select_(std::move(policy))
+    {
+        init();
     }
 
     /// Acquires the lock; returns the token to pass to release().
@@ -138,6 +152,11 @@ class ReactiveLock {
             tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree) {
             if constexpr (FastPathAwareSelect<Select>)
                 select_.on_tts_fast_acquire();
+            // A fast-path winner is still the new holder: the *next*
+            // slow acquisition's handoff-locality bit is measured
+            // against this socket (plain store, no timestamp).
+            if constexpr (kSocketAware)
+                (void)note_holder_socket();
             return ReleaseMode::kTts;
         }
         // Dispatch loop: each protocol attempt either succeeds or
@@ -174,10 +193,15 @@ class ReactiveLock {
             tts_lock_.exchange(kBusy, std::memory_order_acquire) == kFree) {
             if constexpr (FastPathAwareSelect<Select>)
                 select_.on_tts_fast_acquire();
+            if constexpr (kSocketAware)
+                (void)note_holder_socket();
             return ReleaseMode::kTts;
         }
-        if (mode() == Mode::kQueue && queue_.try_acquire(node))
+        if (mode() == Mode::kQueue && queue_.try_acquire(node)) {
+            if constexpr (kSocketAware)
+                (void)note_holder_socket();
             return ReleaseMode::kQueue;
+        }
         return std::nullopt;
     }
 
@@ -238,6 +262,16 @@ class ReactiveLock {
     /// (in-consensus, non-shared), never through shared memory.
     static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
 
+    /// Socket-aware policies additionally receive each sample's
+    /// socket-of-previous-holder bit, splitting the latency classes by
+    /// handoff locality (SocketSplitStat). The bit is free: the new
+    /// holder knows its own socket, and the previous holder's socket
+    /// is holder-only plain state carried across the handoff
+    /// (SocketHandoffTracker, platform/platform_concept.hpp).
+    static constexpr bool kSocketAware = SocketAwareSelect<Select>;
+
+    bool note_holder_socket() { return holder_socket_.note_handoff(); }
+
     /// Bookkeeping common to every successful TTS acquisition; the
     /// caller holds the lock, so policy state is safe to touch. A
     /// latency sample is passed only when its class is clean: an
@@ -250,10 +284,18 @@ class ReactiveLock {
         const ProtocolSignal sig{kTtsIndex, contended ? +1 : 0};
         std::uint32_t next;
         if constexpr (kCalibrating) {
-            if (contended || !spun)
-                next = select_.next_protocol(sig, P::now() - start);
-            else
+            if (contended || !spun) {
+                const std::uint64_t cycles = P::now() - start;
+                if constexpr (kSocketAware)
+                    next = select_.next_protocol(sig, cycles,
+                                                 note_holder_socket());
+                else
+                    next = select_.next_protocol(sig, cycles);
+            } else {
+                if constexpr (kSocketAware)
+                    (void)note_holder_socket();  // still a new holder
                 next = select_.next_protocol(sig);
+            }
         } else {
             (void)spun;
             (void)start;
@@ -294,12 +336,27 @@ class ReactiveLock {
     {
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
         std::uint32_t next;
-        if constexpr (kCalibrating)
-            next = select_.next_protocol(sig, P::now() - start);
-        else
+        if constexpr (kCalibrating) {
+            const std::uint64_t cycles = P::now() - start;
+            if constexpr (kSocketAware)
+                next = select_.next_protocol(sig, cycles,
+                                             note_holder_socket());
+            else
+                next = select_.next_protocol(sig, cycles);
+        } else {
             next = select_.next_protocol(sig);
+        }
         return next != kQueueIndex ? ReleaseMode::kQueueToTts
                                    : ReleaseMode::kQueue;
+    }
+
+    /// Shared tail of both constructors: initial state per Figure
+    /// 3.27 — TTS valid and free, queue invalid, mode = TTS.
+    void init()
+    {
+        mode_->store(static_cast<std::uint32_t>(Mode::kTts),
+                     std::memory_order_relaxed);
+        tts_lock_.store(kFree, std::memory_order_relaxed);
     }
 
     /// Figure 3.28 acquire_queue; nullopt when the queue protocol was
@@ -308,12 +365,12 @@ class ReactiveLock {
     {
         const std::uint64_t start = kCalibrating ? P::now() : 0;
         switch (queue_.acquire(node)) {
-        case ReactiveQueue<P>::Outcome::kAcquiredEmpty:
+        case Queue::Outcome::kAcquiredEmpty:
             // An empty queue signals low contention.
             return queue_acquired(/*empty=*/true, start);
-        case ReactiveQueue<P>::Outcome::kAcquiredWaited:
+        case Queue::Outcome::kAcquiredWaited:
             return queue_acquired(/*empty=*/false, start);
-        case ReactiveQueue<P>::Outcome::kInvalid:
+        case Queue::Outcome::kInvalid:
         default:
             return std::nullopt;
         }
@@ -364,11 +421,14 @@ class ReactiveLock {
     CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
     alignas(kCacheLineSize) typename P::template Atomic<std::uint32_t>
         tts_lock_{kFree};
-    ReactiveQueue<P> queue_;
+    Queue queue_;
 
     ReactiveLockParams params_;
     Select select_;                        // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;   // mutated in-consensus only
+    // Socket of the previous holder (socket-aware policies only;
+    // mutated in-consensus by each new holder).
+    SocketHandoffTracker<P> holder_socket_;
 };
 
 }  // namespace reactive

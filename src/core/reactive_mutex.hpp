@@ -115,10 +115,11 @@ class ReactiveMutex {
  * written against the plain lock interface (benchmark harnesses,
  * application kernels). The release token rides inside the Node.
  */
-template <Platform P, typename Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Queue = ReactiveQueue<P>>
 class ReactiveNodeLock {
   public:
-    using Inner = ReactiveLock<P, Policy>;
+    using Inner = ReactiveLock<P, Policy, Queue>;
 
     struct Node {
         typename Inner::Node qnode;
@@ -128,6 +129,16 @@ class ReactiveNodeLock {
     ReactiveNodeLock() = default;
     explicit ReactiveNodeLock(ReactiveLockParams params, Policy policy = Policy{})
         : inner_(params, std::move(policy))
+    {
+    }
+
+    /// Queue-slot configuration pass-through (e.g. CohortQueue::Params).
+    template <typename QueueParams>
+        requires std::constructible_from<Inner, ReactiveLockParams, Policy,
+                                         QueueParams>
+    ReactiveNodeLock(ReactiveLockParams params, Policy policy,
+                     const QueueParams& queue_params)
+        : inner_(params, std::move(policy), queue_params)
     {
     }
 

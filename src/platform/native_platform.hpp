@@ -50,6 +50,30 @@ struct NativePlatform {
     {
         std::this_thread::yield();
     }
+
+    // ---- TopologyAware extension ------------------------------------
+    // The socket id is declared, not discovered: a deployment that pins
+    // its threads (the only configuration where NUMA-aware handoff is
+    // meaningful) knows each thread's socket at pin time and declares
+    // it once; everyone else keeps the flat default 0 and the
+    // topology-aware protocols degenerate to their blind variants.
+    // (sched_getcpu-style discovery would hand back a socket that can
+    // change between the query and the use — a stale-but-consistent
+    // declaration is what the cohort protocols actually need.)
+
+    static std::uint32_t current_socket() noexcept { return socket_slot(); }
+
+    static void set_current_socket(std::uint32_t s) noexcept
+    {
+        socket_slot() = s;
+    }
+
+  private:
+    static std::uint32_t& socket_slot() noexcept
+    {
+        thread_local std::uint32_t socket = 0;
+        return socket;
+    }
 };
 
 static_assert(Platform<NativePlatform>);

@@ -44,6 +44,58 @@ concept Platform = requires(std::uint32_t n, std::uint64_t c) {
     /// Per-execution-context uniform draw in [0, n).
     { P::random_below(n) } -> std::same_as<std::uint32_t>;
 };
+
+/**
+ * Optional refinement: platforms that can name the NUMA socket of the
+ * executing context (SimPlatform reads the machine topology;
+ * NativePlatform carries a declared thread-local id). The query must
+ * be traffic-free — the topology-aware protocols call it on hot
+ * paths. Platforms without it run every topology-aware protocol in
+ * its flat (socket-0) degeneration.
+ */
+template <typename P>
+concept TopologyAwarePlatform =
+    Platform<P> &&
+    requires {
+        { P::current_socket() } -> std::same_as<std::uint32_t>;
+    };
 // clang-format on
+
+/// Socket of the executing context, or 0 on topology-blind platforms.
+template <typename P>
+inline std::uint32_t platform_socket()
+{
+    if constexpr (TopologyAwarePlatform<P>)
+        return P::current_socket();
+    else
+        return 0;
+}
+
+/**
+ * Socket-of-previous-holder tracker shared by the reactive primitives:
+ * each new in-consensus process (lock holder, writing writer, episode
+ * completer) notes its socket and learns whether the handoff crossed a
+ * socket boundary — the bit the socket-split cost estimator classes
+ * key on. Plain fields: mutated only in-consensus, carried across the
+ * handoff by the same synchronization that protects policy state.
+ */
+template <typename P>
+class SocketHandoffTracker {
+  public:
+    /// Records the calling context as the new holder; true when the
+    /// handoff from the previous holder crossed sockets.
+    bool note_handoff()
+    {
+        const std::uint32_t s = platform_socket<P>();
+        const bool cross = seen_ && s != last_socket_;
+        last_socket_ = s;
+        seen_ = true;
+        return cross;
+    }
+
+  private:
+    std::uint32_t last_socket_ = 0;
+    bool seen_ = false;
+};
 
 }  // namespace reactive

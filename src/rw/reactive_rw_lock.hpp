@@ -195,6 +195,8 @@ class ReactiveRwLock {
             simple_.try_lock_write() == Attempt::kAcquired) {
             if constexpr (FastPathAwareSelect<Select>)
                 select_.on_tts_fast_acquire();
+            if constexpr (kSocketAware)
+                (void)note_writer_socket();  // still the new writer
             n.rm = ReleaseMode::kSimple;
             return;
         }
@@ -316,6 +318,15 @@ class ReactiveRwLock {
     /// they are never timed; plain policies never are either.
     static constexpr bool kCalibrating = CalibratingSelectPolicy<Select>;
 
+    /// Socket-aware policies also receive the socket-of-previous-
+    /// *writer* bit (readers neither feed the policy nor hand off the
+    /// write-side lines), splitting the write-latency classes by
+    /// handoff locality (SocketHandoffTracker; writer-only, full
+    /// exclusivity, no timestamp).
+    static constexpr bool kSocketAware = SocketAwareSelect<Select>;
+
+    bool note_writer_socket() { return writer_socket_.note_handoff(); }
+
     /// Simple-protocol read acquisition: spin with backoff while a
     /// writer is inside; false if the protocol was retired or the hint
     /// moved on (caller retries with the queue protocol).
@@ -356,10 +367,18 @@ class ReactiveRwLock {
                     // Sample only clean classes (immediate or past the
                     // retry limit); mid-spin wins measure waiting, not
                     // protocol cost (see cost_model.hpp).
-                    if (contended || retries == 0)
-                        next = select_.next_protocol(sig, P::now() - start);
-                    else
+                    if (contended || retries == 0) {
+                        const std::uint64_t cycles = P::now() - start;
+                        if constexpr (kSocketAware)
+                            next = select_.next_protocol(
+                                sig, cycles, note_writer_socket());
+                        else
+                            next = select_.next_protocol(sig, cycles);
+                    } else {
+                        if constexpr (kSocketAware)
+                            (void)note_writer_socket();
                         next = select_.next_protocol(sig);
+                    }
                 } else {
                     next = select_.next_protocol(sig);
                 }
@@ -390,10 +409,16 @@ class ReactiveRwLock {
         const bool empty = outcome == QOutcome::kAcquiredEmpty;
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
         std::uint32_t next;
-        if constexpr (kCalibrating)
-            next = select_.next_protocol(sig, P::now() - start);
-        else
+        if constexpr (kCalibrating) {
+            const std::uint64_t cycles = P::now() - start;
+            if constexpr (kSocketAware)
+                next =
+                    select_.next_protocol(sig, cycles, note_writer_socket());
+            else
+                next = select_.next_protocol(sig, cycles);
+        } else {
             next = select_.next_protocol(sig);
+        }
         return next != kQueueIndex ? ReleaseMode::kQueueToSimple
                                    : ReleaseMode::kQueue;
     }
@@ -441,6 +466,9 @@ class ReactiveRwLock {
     ReactiveRwLockParams params_;
     Select select_;                       // mutated in-consensus only
     std::uint64_t protocol_changes_ = 0;  // mutated in-consensus only
+    // Socket of the previous writer (socket-aware policies only;
+    // mutated only by writers, under full exclusivity).
+    SocketHandoffTracker<P> writer_socket_;
 };
 
 }  // namespace reactive

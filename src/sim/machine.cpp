@@ -61,6 +61,12 @@ std::atomic<std::uint64_t> g_machine_epoch{1};
 }  // namespace
 
 Machine::Machine(std::uint32_t nprocs, CostModel costs, std::uint64_t seed)
+    : Machine(nprocs, Topology{}, costs, seed)
+{
+}
+
+Machine::Machine(std::uint32_t nprocs, Topology topo, CostModel costs,
+                 std::uint64_t seed)
     : costs_(costs), procs_(nprocs), machine_rng_(seed ^ 0xa5a5a5a5a5a5a5a5ull),
       seed_(seed)
 {
@@ -68,6 +74,12 @@ Machine::Machine(std::uint32_t nprocs, CostModel costs, std::uint64_t seed)
     assert(nprocs >= 1 && nprocs <= kMaxProcs);
     if (costs_.pause_cycles == 0)
         costs_.pause_cycles = 1;  // zero-cost spins would hang virtual time
+    sockets_ = topo.sockets < 1 ? 1 : topo.sockets;
+    if (sockets_ > nprocs)
+        sockets_ = nprocs;  // an empty socket cannot hold a processor
+    cores_per_socket_ = topo.cores_per_socket != 0
+                            ? topo.cores_per_socket
+                            : (nprocs + sockets_ - 1) / sockets_;
     pos_.resize(nprocs);
     key_.resize(nprocs, kNever);
 }

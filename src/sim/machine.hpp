@@ -38,6 +38,20 @@ namespace reactive::sim {
 inline constexpr std::uint32_t kMaxProcs = 256;
 
 /**
+ * Machine shape: processors grouped into sockets (NUMA domains).
+ * Processor p lives on socket p / cores_per_socket — contiguous ranges,
+ * the layout every real socketed machine exposes to a pinned thread
+ * pool. The default (one socket) is the flat machine every thesis
+ * experiment ran on: the two-level cost terms then never fire and the
+ * cost model is bit-identical to the pre-topology simulator.
+ */
+struct Topology {
+    std::uint32_t sockets = 1;
+    /// Processors per socket; 0 derives ceil(nprocs / sockets).
+    std::uint32_t cores_per_socket = 0;
+};
+
+/**
  * Every latency the simulation charges, in simulated cycles.
  * Presets reproduce the configurations the thesis evaluates.
  */
@@ -55,6 +69,18 @@ struct CostModel {
     std::uint32_t hw_dir_pointers = 5;    ///< LimitLESS hardware pointers
     std::uint32_t dir_overflow_trap = 60; ///< software directory extension
     bool full_map_directory = false;      ///< DirNNB: never overflows
+
+    // -- two-level (NUMA) transfer terms ------------------------------
+    // Charged only on machines built with Topology{sockets >= 2}; on
+    // the default flat machine they never fire, so every flat number is
+    // bit-identical to the pre-topology cost model. The extra applies
+    // when the nearest valid copy of the line (dirty owner, else any
+    // cached sharer) lives on a different socket than the requester —
+    // the handoff-locality distinction RMR-style analyses draw between
+    // intra- and cross-domain remote references. Plain memory fills
+    // (no cached copy anywhere) stay uniform: interleaved pages.
+    std::uint32_t cross_socket_extra = 50;     ///< cross-socket data fetch
+    std::uint32_t invalidate_cross_extra = 5;  ///< per cross-socket sharer
 
     // -- interconnect messages ---------------------------------------
     std::uint32_t msg_send_overhead = 16; ///< compose + launch
@@ -112,6 +138,8 @@ struct CostModel {
 struct MachineStats {
     std::uint64_t mem_ops = 0;
     std::uint64_t remote_misses = 0;
+    std::uint64_t cross_socket_transfers = 0;   ///< data fetched across sockets
+    std::uint64_t cross_socket_invalidations = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t dir_overflows = 0;
     std::uint64_t messages = 0;
@@ -213,6 +241,10 @@ class Machine {
   public:
     explicit Machine(std::uint32_t nprocs, CostModel costs = CostModel::alewife(),
                      std::uint64_t seed = 1);
+    /// Socketed machine: same cost model plus the two-level transfer
+    /// terms charged across socket boundaries.
+    Machine(std::uint32_t nprocs, Topology topo,
+            CostModel costs = CostModel::alewife(), std::uint64_t seed = 1);
     ~Machine();
 
     Machine(const Machine&) = delete;
@@ -221,6 +253,19 @@ class Machine {
     std::uint32_t procs() const { return static_cast<std::uint32_t>(procs_.size()); }
     const CostModel& costs() const { return costs_; }
     const MachineStats& stats() const { return stats_; }
+
+    // ---- topology ---------------------------------------------------
+
+    std::uint32_t sockets() const { return sockets_; }
+    std::uint32_t cores_per_socket() const { return cores_per_socket_; }
+
+    /// Socket of processor @p cpu (contiguous ranges, clamped so a
+    /// ragged last socket absorbs any remainder).
+    std::uint32_t socket_of(std::uint32_t cpu) const
+    {
+        const std::uint32_t s = cpu / cores_per_socket_;
+        return s < sockets_ ? s : sockets_ - 1;
+    }
 
     /// Unique id of this machine instance; used by the memory model to
     /// invalidate cache/occupancy state carried by objects that outlive
@@ -313,6 +358,8 @@ class Machine {
     std::uint64_t heap_second_min() const;
 
     CostModel costs_;
+    std::uint32_t sockets_ = 1;
+    std::uint32_t cores_per_socket_ = kMaxProcs;
     std::vector<Proc> procs_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     MachineStats stats_;

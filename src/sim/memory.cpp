@@ -1,5 +1,7 @@
 #include "sim/memory.hpp"
 
+#include <algorithm>
+
 namespace reactive::sim {
 
 namespace {
@@ -29,6 +31,50 @@ std::uint64_t invalidation_cost(const Machine& m, std::size_t copies)
     if (!c.full_map_directory && copies > c.hw_dir_pointers)
         cost += c.dir_overflow_trap;
     return cost;
+}
+
+/// True when requester @p cpu must pull the line's data across a
+/// socket boundary: the nearest valid copy — the dirty owner, else any
+/// cached sharer — lives on another socket (cache-to-cache transfers
+/// come from the closest copy). Lines cached nowhere fill from memory,
+/// which the model keeps uniform (interleaved pages); see the
+/// CostModel two-level terms. Called only on multi-socket machines.
+bool fetch_crosses_sockets(const Machine& m, const Directory& dir,
+                           std::uint32_t cpu)
+{
+    const std::uint32_t s = m.socket_of(cpu);
+    if (dir.owner >= 0)
+        return m.socket_of(static_cast<std::uint32_t>(dir.owner)) != s;
+    if (dir.sharers.none())
+        return false;
+    const std::uint32_t lo = s * m.cores_per_socket();
+    const std::uint32_t hi = s + 1 == m.sockets()
+                                 ? m.procs()
+                                 : std::min(m.procs(),
+                                            lo + m.cores_per_socket());
+    for (std::uint32_t p = lo; p < hi; ++p) {
+        if (dir.sharers.test(p))
+            return false;
+    }
+    return true;
+}
+
+/// Copies a write by @p writer must invalidate on *other* sockets:
+/// each costs an extra interconnect hop on top of the flat sequential
+/// invalidation. Called only on multi-socket machines.
+std::size_t cross_invalidated_copies(const Machine& m, const Directory& dir,
+                                     std::uint32_t writer)
+{
+    const std::uint32_t ws = m.socket_of(writer);
+    std::size_t cross = 0;
+    for (std::uint32_t p = 0; p < m.procs(); ++p) {
+        if (p != writer && dir.sharers.test(p) && m.socket_of(p) != ws)
+            ++cross;
+    }
+    if (dir.owner >= 0 && static_cast<std::uint32_t>(dir.owner) != writer &&
+        m.socket_of(static_cast<std::uint32_t>(dir.owner)) != ws)
+        ++cross;
+    return cross;
 }
 
 /// Serializes a remote transaction of @p service cycles through the
@@ -81,6 +127,10 @@ void charge_read(Directory& dir)
 
     std::uint64_t cost = c.remote_miss;
     ++m->mutable_stats().remote_misses;
+    if (m->sockets() > 1 && fetch_crosses_sockets(*m, dir, cpu)) {
+        cost += c.cross_socket_extra;
+        ++m->mutable_stats().cross_socket_transfers;
+    }
     if (dir.owner >= 0) {
         // Downgrade the dirty owner to a sharer.
         cost += c.writeback_extra;
@@ -116,6 +166,15 @@ void charge_write(Directory& dir)
         dir.sharers.test(cpu) ? c.upgrade_hit : c.remote_miss;
     if (!dir.sharers.test(cpu))
         ++m->mutable_stats().remote_misses;
+    if (m->sockets() > 1) {
+        if (!dir.sharers.test(cpu) && fetch_crosses_sockets(*m, dir, cpu)) {
+            cost += c.cross_socket_extra;
+            ++m->mutable_stats().cross_socket_transfers;
+        }
+        const std::size_t cross = cross_invalidated_copies(*m, dir, cpu);
+        cost += cross * c.invalidate_cross_extra;
+        m->mutable_stats().cross_socket_invalidations += cross;
+    }
     const std::size_t copies = invalidated_copies(dir, cpu);
     cost += invalidation_cost(*m, copies);
     m->mutable_stats().invalidations += copies;
@@ -144,6 +203,15 @@ void charge_rmw(Directory& dir)
         c.atomic_extra;
     if (!dir.sharers.test(cpu))
         ++m->mutable_stats().remote_misses;
+    if (m->sockets() > 1) {
+        if (!dir.sharers.test(cpu) && fetch_crosses_sockets(*m, dir, cpu)) {
+            cost += c.cross_socket_extra;
+            ++m->mutable_stats().cross_socket_transfers;
+        }
+        const std::size_t cross = cross_invalidated_copies(*m, dir, cpu);
+        cost += cross * c.invalidate_cross_extra;
+        m->mutable_stats().cross_socket_invalidations += cross;
+    }
     const std::size_t copies = invalidated_copies(dir, cpu);
     cost += invalidation_cost(*m, copies);
     m->mutable_stats().invalidations += copies;

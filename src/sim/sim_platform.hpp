@@ -19,6 +19,12 @@ namespace reactive::sim {
 
 /// Platform model for code running on a sim::Machine.
 struct SimPlatform {
+    /// Discrete-event execution on one host thread: plain reads of
+    /// holder-only protocol bookkeeping are exact here, and some
+    /// protocols record extra (free) diagnostics under this flag that
+    /// would be data races on a native platform.
+    static constexpr bool deterministic_simulation = true;
+
     template <typename T>
     using Atomic = sim::Atomic<T>;
 
@@ -33,6 +39,22 @@ struct SimPlatform {
     static std::uint32_t random_below(std::uint32_t bound)
     {
         return sim::random_below(bound);
+    }
+
+    /// Socket of the executing simulated processor (TopologyAware
+    /// extension): free for the caller — reads only host-side machine
+    /// state, no simulated memory op, no cycle charge. Outside a
+    /// simulation both degenerate to the flat answers.
+    static std::uint32_t current_socket()
+    {
+        Machine* m = current_machine();
+        return m != nullptr ? m->socket_of(current_cpu()) : 0;
+    }
+
+    static std::uint32_t socket_count()
+    {
+        Machine* m = current_machine();
+        return m != nullptr ? m->sockets() : 1;
     }
 
     /// Switch-spinning poll step (Section 4.1): rotate to the next

@@ -130,9 +130,10 @@ static_assert(SelectPolicy<CycleSelectPolicy>);
 template <typename B>
 int sim_barrier_torture(std::shared_ptr<B> bar, std::uint32_t procs,
                         std::uint32_t episodes, std::uint32_t compute,
-                        std::uint64_t seed = 1, std::uint32_t straggle = 0)
+                        std::uint64_t seed = 1, std::uint32_t straggle = 0,
+                        sim::Topology topo = {})
 {
-    sim::Machine m(procs, sim::CostModel::alewife(), seed);
+    sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     auto progress = std::make_shared<std::vector<std::uint32_t>>(procs, 0u);
     auto nodes = std::make_shared<std::vector<typename B::Node>>(procs);
     auto violations = std::make_shared<int>(0);
@@ -219,6 +220,118 @@ TEST(CombiningTreeShapeTest, OddFanInsAndParticipantCounts)
     }
 }
 
+// ---- topology-aware placement (NUMA) ----------------------------------
+
+TEST(TopoBarrierTest, TopologyAwareTreeOrderingOddSocketSplits)
+{
+    // Non-power-of-two socket splits, odd participant counts, socket
+    // ranges that do not divide the fan-in: the segment construction
+    // must still produce a correct episode structure.
+    struct Shape {
+        std::uint32_t procs, sockets, cps, fan;
+    };
+    for (const Shape c : {Shape{13, 3, 5, 4}, Shape{9, 3, 3, 2},
+                          Shape{12, 5, 3, 4}, Shape{7, 2, 4, 3},
+                          Shape{11, 4, 0, 5}}) {
+        for (const std::uint64_t seed : {1ull, 42ull}) {
+            auto bar = std::make_shared<CombiningTreeBarrier<SimPlatform>>(
+                c.procs, c.fan, false, c.sockets, c.cps);
+            EXPECT_EQ(sim_barrier_torture(bar, c.procs, 25, /*compute=*/120,
+                                          seed, /*straggle=*/0,
+                                          sim::Topology{c.sockets, c.cps}),
+                      0)
+                << "P=" << c.procs << " S=" << c.sockets << " cps=" << c.cps
+                << " fan=" << c.fan << " seed=" << seed;
+        }
+    }
+}
+
+TEST(TopoBarrierTest, ForcedSwitchStormsAcrossThreeProtocolsWithTopology)
+{
+    // Cycle storms in both directions over a socketed machine with the
+    // topology-aware tree slot, odd P and a non-power-of-two split —
+    // every protocol change runs while all waiters are parked in the
+    // slot being left.
+    using B = ReactiveBarrier<SimPlatform, CycleSelectPolicy,
+                              Barrier3Set<SimPlatform>>;
+    for (const int step : {+1, -1}) {
+        ReactiveBarrierParams bp;
+        bp.sockets = 3;
+        bp.cores_per_socket = 5;
+        auto bar = std::make_shared<B>(13, bp, CycleSelectPolicy(3, 2, step));
+        EXPECT_EQ(sim_barrier_torture(bar, 13, 40, /*compute=*/100,
+                                      /*seed=*/1, /*straggle=*/0,
+                                      sim::Topology{3, 5}),
+                  0)
+            << "step " << step;
+        EXPECT_EQ(bar->protocol_changes(), 40u / 2u) << "step " << step;
+    }
+    // The same storm with stragglers and a ragged last socket.
+    ReactiveBarrierParams bp;
+    bp.sockets = 2;
+    bp.cores_per_socket = 4;
+    auto bar = std::make_shared<B>(7, bp, CycleSelectPolicy(3, 3, +1));
+    EXPECT_EQ(sim_barrier_torture(bar, 7, 30, /*compute=*/100, /*seed=*/3,
+                                  /*straggle=*/4000, sim::Topology{2, 4}),
+              0);
+}
+
+TEST(TopoBarrierTest, TopologyAwareTreeStormOnNativeThreads)
+{
+    // Real threads with declared sockets (NativePlatform's
+    // TopologyAware extension): placement uses the declared ids, the
+    // ordering property must hold regardless.
+    const std::uint32_t hw = std::thread::hardware_concurrency();
+    const std::uint32_t threads = std::max(3u, std::min(6u, hw));
+    CombiningTreeBarrier<NativePlatform> bar(threads, /*fan_in=*/2,
+                                             /*track=*/false,
+                                             /*sockets=*/3);
+    std::vector<std::atomic<std::uint32_t>> progress(threads);
+    for (auto& a : progress)
+        a.store(0, std::memory_order_relaxed);
+    std::atomic<int> violations{0};
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            NativePlatform::set_current_socket(t % 3);
+            typename CombiningTreeBarrier<NativePlatform>::Node n;
+            for (std::uint32_t e = 0; e < 200; ++e) {
+                progress[t].store(e + 1, std::memory_order_relaxed);
+                bar.arrive(n);
+                for (std::uint32_t j = 0; j < threads; ++j) {
+                    const std::uint32_t seen =
+                        progress[j].load(std::memory_order_relaxed);
+                    if (seen < e + 1 || seen > e + 2)
+                        violations.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TopoBarrierDeathTest, OversubscriptionStillAbortsWithTopology)
+{
+    // A (P+1)-th Node must abort instead of wrapping into a duplicate
+    // id, exactly as on the flat path — including when the spill scan
+    // has walked every socket range.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            CombiningTreeBarrier<NativePlatform> bar(3, /*fan_in=*/2,
+                                                     /*track=*/false,
+                                                     /*sockets=*/2);
+            CombiningTreeBarrier<NativePlatform>::Node nodes[4];
+            // Three legitimate participants would deadlock a real
+            // episode here, so drive id assignment via arrive_only.
+            for (auto& n : nodes)
+                (void)bar.arrive_only(n);
+        },
+        "");
+}
+
 // ---- native-thread episode-ordering tests -----------------------------
 
 template <typename B>
@@ -284,12 +397,23 @@ TYPED_TEST(NativeBarrierTest, SingleParticipantManyEpisodes)
 
 // ---- reactive barrier: protocol-switch correctness --------------------
 
+/// The thesis-style arrival-spread signal path, now opt-in
+/// (free_monitoring defaults on since the NUMA PR); the convergence
+/// tests below were written against it and keep validating it through
+/// its deprecation window.
+ReactiveBarrierParams spread_signal_params()
+{
+    ReactiveBarrierParams p;
+    p.free_monitoring = false;
+    return p;
+}
+
 TEST(ReactiveBarrierSwitchTest, ConvergesToTreeUnderBunchedArrivals)
 {
     using B = ReactiveBarrier<SimPlatform, AlwaysSwitchPolicy>;
     // A huge empty-streak threshold pins the barrier in tree mode once
     // it gets there (mirrors the rwlock convergence test).
-    auto bar = std::make_shared<B>(32, ReactiveBarrierParams{},
+    auto bar = std::make_shared<B>(32, spread_signal_params(),
                                    AlwaysSwitchPolicy(1u << 30));
     EXPECT_EQ(bar->mode(), B::Mode::kCentral);
     (void)apps::run_barrier_uniform<B>(32, 30, /*compute=*/100, /*seed=*/1,
@@ -306,7 +430,7 @@ TEST(ReactiveBarrierSwitchTest, ConvergesBackToCentralWhenSkewed)
     // phase's skew streak must bring it back to the centralized
     // barrier.
     using B = ReactiveBarrier<SimPlatform, AlwaysSwitchPolicy>;
-    auto bar = std::make_shared<B>(8);
+    auto bar = std::make_shared<B>(8, spread_signal_params());
     (void)apps::run_barrier_phases<B>(8, /*phases=*/2,
                                       /*episodes_per_phase=*/25,
                                       /*straggle=*/40000, /*compute=*/80,
@@ -436,7 +560,8 @@ TEST(ReactiveBarrier3Test, LadderClimbsUnderBunchedArrivals)
     // rung and eventually reach the dissemination rung.
     using B = ReactiveBarrier<SimPlatform, Ladder3Policy,
                               Barrier3Set<SimPlatform>>;
-    auto bar = std::make_shared<B>(32);
+    auto bar = std::make_shared<B>(32, spread_signal_params(),
+                                   Ladder3Policy{});
     (void)apps::run_barrier_uniform<B>(32, 60, /*compute=*/100, /*seed=*/1,
                                        bar);
     EXPECT_GE(bar->protocol_changes(), 2u);
@@ -487,13 +612,77 @@ TEST(ReactiveBarrier3Test, FreeMonitoringCycleStormKeepsOrdering)
     }
 }
 
+TEST(ReactiveBarrier3Test, ParkedFreeMonitoringBarrierAddsOnlyTheModeRead)
+{
+    // The free_monitoring default-flip regression (ROADMAP follow-on):
+    // a reactive barrier parked in its initial protocol must execute
+    // the static protocol's exact shared-memory operations — the only
+    // extra access is the one mode-hint read each arrival's dispatch
+    // performs, which free monitoring cannot remove and which existed
+    // in every prior configuration too. The spread path, by contrast,
+    // pays stamp traffic every episode.
+    struct NeverPolicy {
+        bool on_tts_acquire(bool) { return false; }
+        bool on_queue_acquire(bool) { return false; }
+        void on_switch() {}
+    };
+    using Parked = ReactiveBarrier<SimPlatform, NeverPolicy>;
+    static constexpr std::uint32_t kEpisodes = 40;
+    auto run = [](std::uint32_t procs, auto make_barrier) {
+        sim::Machine m(procs, sim::CostModel::alewife(), 1);
+        auto bar = make_barrier(procs);
+        using B = typename decltype(bar)::element_type;
+        auto nodes =
+            std::make_shared<std::vector<typename B::Node>>(procs);
+        for (std::uint32_t p = 0; p < procs; ++p) {
+            m.spawn(p, [=] {
+                for (std::uint32_t e = 0; e < kEpisodes; ++e) {
+                    sim::delay(sim::random_below(200));
+                    bar->arrive((*nodes)[p]);
+                }
+            });
+        }
+        m.run();
+        return m.stats().mem_ops;
+    };
+    auto central = [](std::uint32_t procs) {
+        return std::make_shared<CentralBarrier<SimPlatform>>(procs);
+    };
+    auto parked = [](std::uint32_t procs) {
+        return std::make_shared<Parked>(procs);  // defaults: free monitoring
+    };
+    auto spread = [](std::uint32_t procs) {
+        return std::make_shared<Parked>(procs, spread_signal_params());
+    };
+    // Spin-free configuration (one participant: nobody ever polls a
+    // sense word, so the op count is schedule-independent): the parked
+    // barrier executes *exactly* the static protocol's memory
+    // operations plus the one mode-hint read per arrival — the
+    // dispatch read free monitoring cannot remove and every prior
+    // configuration also paid.
+    EXPECT_EQ(run(1, parked), run(1, central) + kEpisodes);
+    // Contended configuration: poll counts shift with scheduling, so
+    // the per-op claim is bounded rather than exact — the parked
+    // barrier stays within the mode reads plus poll noise of the
+    // static protocol — while the spread path's stamp traffic (a CAS
+    // per arrival plus the completer's reads) is well outside it.
+    const std::uint64_t central_ops = run(12, central);
+    const std::uint64_t parked_ops = run(12, parked);
+    const std::uint64_t spread_ops = run(12, spread);
+    const std::uint64_t mode_reads = 12u * kEpisodes;
+    const std::uint64_t poll_noise = central_ops / 50;  // 2%
+    EXPECT_LE(parked_ops, central_ops + mode_reads + poll_noise);
+    EXPECT_GE(parked_ops + poll_noise, central_ops);
+    EXPECT_GT(spread_ops, parked_ops + mode_reads);
+}
+
 TEST(ReactiveBarrierSwitchTest, PhaseShiftingTracksBothRegimes)
 {
     // Across alternating bunched/straggler phases the reactive barrier
     // must keep switching (at least once per regime flip would be
     // ideal; we require that it reacts repeatedly, not just once).
     using B = ReactiveBarrier<SimPlatform, AlwaysSwitchPolicy>;
-    auto bar = std::make_shared<B>(16);
+    auto bar = std::make_shared<B>(16, spread_signal_params());
     (void)apps::run_barrier_phases<B>(16, /*phases=*/6,
                                       /*episodes_per_phase=*/20,
                                       /*straggle=*/40000, /*compute=*/100,

@@ -114,6 +114,97 @@ TEST(CostEstimatorTest, ResidualsTrackClassEstimates)
 
 // ---- CalibratedHysteresisPolicy ---------------------------------------
 
+// ---- socket-split latency classes (NUMA two-level estimator) ----------
+
+TEST(SocketSplitTest, FlatSequenceIsBitIdenticalToPlainEwma)
+{
+    // With no cross-socket samples the split stat must be the plain
+    // EWMA — value for value, count for count — which is what keeps
+    // every flat-topology benchmark number byte-identical.
+    EwmaStat plain{100};
+    SocketSplitStat split{100};
+    std::uint64_t sample = 37;
+    for (int i = 0; i < 64; ++i) {
+        sample = sample * 13 % 997;
+        plain.update(sample, 3);
+        split.update(sample, 3, /*cross=*/false);
+        ASSERT_EQ(split.value(), plain.value) << "sample " << i;
+    }
+    EXPECT_EQ(split.count(), plain.count);
+    EXPECT_EQ(split.cross_frac, 0u);
+}
+
+TEST(SocketSplitTest, SeparatesPopulationsAndBlendsByFraction)
+{
+    // Alternating 100-cycle local and 400-cycle cross handoffs: one
+    // EWMA would sit uselessly between the populations while claiming
+    // to track both; the split tracks each and reports the mix.
+    SocketSplitStat s{100};
+    for (int i = 0; i < 200; ++i)
+        s.update(i % 2 == 0 ? 100 : 400, 3, /*cross=*/i % 2 != 0);
+    EXPECT_NEAR(static_cast<double>(s.local.value), 100.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(s.remote.value), 400.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(s.cross_frac), 128.0, 16.0);
+    EXPECT_GT(s.value(), 200u);
+    EXPECT_LT(s.value(), 300u);
+
+    // An all-cross phase shifts the blend toward the remote population
+    // without disturbing the local estimate.
+    for (int i = 0; i < 64; ++i)
+        s.update(400, 3, /*cross=*/true);
+    EXPECT_GT(s.value(), 350u);
+    EXPECT_NEAR(static_cast<double>(s.local.value), 100.0, 10.0);
+}
+
+TEST(SocketSplitTest, EstimatorResidualsUseTheBlend)
+{
+    // Residuals respond to the traffic mix: the same contended-TTS
+    // samples read as a larger residual when the queue handoffs they
+    // are compared against are mostly socket-local.
+    CostEstimator est;
+    for (int i = 0; i < 64; ++i) {
+        est.sample_tts(true, 500, /*cross=*/i % 2 != 0);
+        est.sample_queue(false, i % 2 != 0 ? 400 : 150, i % 2 != 0);
+    }
+    const std::uint64_t mixed = est.residual_tts_contended();
+    // queue_waited blends 150/400 -> ~275; residual ~= 500 - 275.
+    EXPECT_GT(mixed, 150u);
+    EXPECT_LT(mixed, 350u);
+    EXPECT_GT(est.split_queue_waited().remote.count, 0u);
+    EXPECT_GT(est.split_queue_waited().local.count, 0u);
+}
+
+TEST(SocketSplitTest, LadderRungsSplitBySocketBit)
+{
+    CalibratedLadderPolicy::Params pp;
+    pp.protocols = 3;
+    pp.probe_period = 0;  // no scheduled probes: pure measurement
+    CalibratedLadderPolicy pol(pp);
+    // Rung 0 samples alternate 100 local / 300 cross.
+    for (int i = 0; i < 64; ++i)
+        (void)pol.next_protocol(ProtocolSignal{0, 0}, i % 2 == 0 ? 100 : 300,
+                                i % 2 != 0);
+    EXPECT_GT(pol.latency(0), 150u);
+    EXPECT_LT(pol.latency(0), 250u);
+}
+
+TEST(SocketSplitTest, ReactiveLockFeedsBothPopulationsOnSocketedMachine)
+{
+    // End to end: a hot loop on a two-socket machine must populate
+    // both the local and the remote class of the writer-fed estimator
+    // (the holder computes the bit from holder-only state).
+    using L = ReactiveNodeLock<SimPlatform, CalibratedCompetitive3Policy>;
+    auto lock = std::make_shared<L>();
+    (void)apps::run_lock_cycle<L>(8, 120, /*cs=*/80, /*think=*/150,
+                                  /*seed=*/1, lock, sim::Topology{2, 4});
+    const CostEstimator& est = lock->inner().policy().estimator();
+    const bool split_populated =
+        est.split_tts_contended().remote.count > 0 ||
+        est.split_queue_waited().remote.count > 0;
+    EXPECT_TRUE(split_populated);
+    EXPECT_GT(est.samples(), 0u);
+}
+
 TEST(CalibratedHysteresisTest, ThresholdsDerivedFromEstimator)
 {
     CalibratedHysteresisPolicy h;
@@ -387,6 +478,9 @@ TEST(BarrierCalibrationTest, CalibratingPolicyReachesTreeUnderBunchedLoad)
     using Bar = ReactiveBarrier<SimPlatform, CalibratedCompetitive3Policy>;
     ReactiveBarrierParams bp;
     bp.calibrate = true;
+    // This test validates the thesis-style spread-signal calibration
+    // path (opt-in since free_monitoring became the default).
+    bp.free_monitoring = false;
     CalibratedCompetitive3Policy::Params pp;
     pp.costs = reluctant_seeds();
     pp.probe_period = 32;

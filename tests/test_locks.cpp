@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/cohort_queue.hpp"
+#include "core/reactive_mutex.hpp"
 #include "locks/anderson_lock.hpp"
 #include "locks/lock_concepts.hpp"
 #include "locks/mcs_lock.hpp"
@@ -266,6 +269,121 @@ TEST(TicketFairnessTest, FifoGrantOrder)
     }
     m.run();
     EXPECT_EQ(*grant, *arrival);
+}
+
+// ---- cohort queue native storms (the TSan CI job replays these) -------
+//
+// The two-level cohort queue's native coverage: threads *declare*
+// their socket (NativePlatform::set_current_socket — the declared-id
+// model the header documents), so the per-socket local queues, the
+// cohort passes, and the budget-driven global handoffs all execute on
+// real threads under ThreadSanitizer.
+
+TEST(NativeCohortTest, MutualExclusionWithDeclaredSockets)
+{
+    const std::uint32_t threads =
+        std::max(2u, std::min(4u, std::thread::hardware_concurrency()));
+    CohortQueue<NativePlatform>::Params cp;
+    cp.sockets = 2;
+    CohortQueue<NativePlatform> q(/*initially_valid=*/true, cp);
+    long counter = 0;
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            NativePlatform::set_current_socket(t % 2);
+            for (int i = 0; i < 400; ++i) {
+                CohortQueue<NativePlatform>::Node n;
+                (void)q.acquire(n);
+                ++counter;  // protected by the lock
+                q.release(n);
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(counter, static_cast<long>(threads) * 400);
+}
+
+TEST(NativeCohortTest, RemoteWaiterIsNotStarvedByLocalStream)
+{
+    // One declared-remote thread against an all-local stream that only
+    // stops once the remote finished: the bounded cohort budget is
+    // what lets this test terminate.
+    const std::uint32_t locals =
+        std::max(1u, std::min(3u, std::thread::hardware_concurrency() - 1));
+    CohortQueue<NativePlatform>::Params cp;
+    cp.sockets = 2;
+    CohortQueue<NativePlatform> q(/*initially_valid=*/true, cp);
+    std::atomic<bool> done{false};
+    long counter = 0;
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < locals; ++t) {
+        pool.emplace_back([&] {
+            NativePlatform::set_current_socket(0);
+            while (!done.load(std::memory_order_relaxed)) {
+                CohortQueue<NativePlatform>::Node n;
+                (void)q.acquire(n);
+                ++counter;
+                q.release(n);
+            }
+        });
+    }
+    std::thread remote([&] {
+        NativePlatform::set_current_socket(1);
+        for (int i = 0; i < 200; ++i) {
+            CohortQueue<NativePlatform>::Node n;
+            (void)q.acquire(n);
+            ++counter;
+            q.release(n);
+        }
+        done.store(true, std::memory_order_relaxed);
+    });
+    remote.join();
+    for (auto& th : pool)
+        th.join();
+    EXPECT_TRUE(done.load());
+}
+
+TEST(NativeCohortTest, ReactiveSwitchStormOverCohortQueue)
+{
+    // TTS <-> cohort protocol changes on real threads: every third
+    // observed acquisition switches, driving acquire_invalid /
+    // invalidate / the local-bailout dismantle paths under TSan.
+    struct Metronome {
+        std::uint32_t n = 0;
+        bool on_tts_acquire(bool) { return ++n % 3 == 0; }
+        bool on_queue_acquire(bool) { return ++n % 3 == 0; }
+        void on_switch() {}
+    };
+    using RL = ReactiveNodeLock<NativePlatform, Metronome,
+                                CohortQueue<NativePlatform>>;
+    const std::uint32_t threads =
+        std::max(2u, std::min(4u, std::thread::hardware_concurrency()));
+    CohortQueue<NativePlatform>::Params cp;
+    cp.sockets = 2;
+    // Without the optimistic fast path every acquisition is observed,
+    // so the metronome fires even on hosts where preemption-grain
+    // scheduling leaves the lock uncontended (1-core CI runners).
+    ReactiveLockParams lp;
+    lp.optimistic_tts = false;
+    RL lock{lp, Metronome{}, cp};
+    long counter = 0;
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            NativePlatform::set_current_socket(t % 2);
+            for (int i = 0; i < 300; ++i) {
+                typename RL::Node n;
+                lock.lock(n);
+                ++counter;
+                lock.unlock(n);
+            }
+        });
+    }
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(counter, static_cast<long>(threads) * 300);
+    EXPECT_GT(lock.inner().protocol_changes(), 0u);
 }
 
 // Queue locks make waiters spin on their own cache line: under heavy

@@ -369,6 +369,154 @@ TEST(MachineTest, ReadySpilloverRunsSequentially)
     EXPECT_EQ(count->load(), 5);
 }
 
+// ---- topology (two-level NUMA cost model) -----------------------------
+
+TEST(TopologyTest, SocketMappingCoversRaggedLastSocket)
+{
+    Machine m(10, Topology{3, 4});
+    EXPECT_EQ(m.sockets(), 3u);
+    EXPECT_EQ(m.cores_per_socket(), 4u);
+    EXPECT_EQ(m.socket_of(0), 0u);
+    EXPECT_EQ(m.socket_of(3), 0u);
+    EXPECT_EQ(m.socket_of(4), 1u);
+    EXPECT_EQ(m.socket_of(9), 2u);
+
+    Machine derived(12, Topology{4, 0});  // cores_per_socket derived
+    EXPECT_EQ(derived.cores_per_socket(), 3u);
+    EXPECT_EQ(derived.socket_of(11), 3u);
+
+    // More sockets than processors clamps (no empty socket can hold a
+    // processor).
+    Machine tiny(2, Topology{8, 0});
+    EXPECT_EQ(tiny.sockets(), 2u);
+}
+
+/// Shared-contention kernel for the invariance tests: every processor
+/// hammers one line and one private line with seeded think time.
+std::uint64_t topology_kernel(Machine& m, std::uint32_t procs)
+{
+    auto hot = std::make_shared<Atomic<std::uint32_t>>(0);
+    auto flags = std::make_shared<std::vector<std::unique_ptr<
+        Atomic<std::uint32_t>>>>();
+    for (std::uint32_t p = 0; p < procs; ++p)
+        flags->push_back(std::make_unique<Atomic<std::uint32_t>>(0));
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        m.spawn(p, [=] {
+            for (int i = 0; i < 40; ++i) {
+                hot->fetch_add(1);
+                (void)hot->load();
+                (*flags)[p]->store(static_cast<std::uint32_t>(i));
+                delay(random_below(200));
+            }
+        });
+    }
+    m.run();
+    return m.elapsed();
+}
+
+TEST(TopologyTest, FlatTopologyIsByteIdenticalAndTrafficFree)
+{
+    // The explicit one-socket topology must change *nothing*: same
+    // cycles, same memory-op and miss counts as the historical flat
+    // constructor, and the cross-socket counters never fire.
+    constexpr std::uint32_t kProcs = 12;
+    Machine flat(kProcs, CostModel::alewife(), 7);
+    const std::uint64_t flat_elapsed = topology_kernel(flat, kProcs);
+
+    Machine one(kProcs, Topology{1, 0}, CostModel::alewife(), 7);
+    EXPECT_EQ(topology_kernel(one, kProcs), flat_elapsed);
+    EXPECT_EQ(one.stats().mem_ops, flat.stats().mem_ops);
+    EXPECT_EQ(one.stats().remote_misses, flat.stats().remote_misses);
+    EXPECT_EQ(one.stats().invalidations, flat.stats().invalidations);
+    EXPECT_EQ(one.stats().cross_socket_transfers, 0u);
+    EXPECT_EQ(one.stats().cross_socket_invalidations, 0u);
+    EXPECT_EQ(flat.stats().cross_socket_transfers, 0u);
+}
+
+TEST(TopologyTest, ZeroedExtrasMakeSocketsCostNeutral)
+{
+    // The topology layer itself adds zero traffic and zero cost: a
+    // two-socket machine whose cross-socket extras are zeroed produces
+    // byte-identical cycles and op counts to the flat machine — the
+    // only difference is that the cross-socket *counters* now see the
+    // traffic the extras would have charged.
+    constexpr std::uint32_t kProcs = 12;
+    Machine flat(kProcs, CostModel::alewife(), 9);
+    const std::uint64_t flat_elapsed = topology_kernel(flat, kProcs);
+
+    CostModel zeroed = CostModel::alewife();
+    zeroed.cross_socket_extra = 0;
+    zeroed.invalidate_cross_extra = 0;
+    Machine numa(kProcs, Topology{2, 6}, zeroed, 9);
+    EXPECT_EQ(topology_kernel(numa, kProcs), flat_elapsed);
+    EXPECT_EQ(numa.stats().mem_ops, flat.stats().mem_ops);
+    EXPECT_EQ(numa.stats().remote_misses, flat.stats().remote_misses);
+    EXPECT_GT(numa.stats().cross_socket_transfers, 0u);
+}
+
+TEST(TopologyTest, CrossSocketFetchCostsExtra)
+{
+    // cpu0 dirties a line; a reader on another socket pays the
+    // two-level extra over a same-socket reader.
+    auto read_cost = [](std::uint32_t reader) {
+        Machine m(4, Topology{2, 2});
+        auto line = std::make_shared<Atomic<std::uint32_t>>(0);
+        auto cost = std::make_shared<std::uint64_t>(0);
+        m.spawn(0, [line] { line->store(1); });
+        m.spawn(reader, [line, cost] {
+            delay(5000);
+            const std::uint64_t t0 = now();
+            (void)line->load();
+            *cost = now() - t0;
+        });
+        m.run();
+        return *cost;
+    };
+    const std::uint64_t intra = read_cost(1);   // same socket as writer
+    const std::uint64_t cross = read_cost(2);   // other socket
+    // Jitter is [0,4); the extra is 50.
+    EXPECT_GE(cross, intra + CostModel{}.cross_socket_extra - 4);
+}
+
+TEST(TopologyTest, CrossSocketInvalidationCostsExtra)
+{
+    // A writer invalidating sharers pays per-copy extras only for the
+    // sharers on other sockets.
+    auto write_cost = [](std::uint32_t writer) {
+        Machine m(6, Topology{2, 3});
+        auto line = std::make_shared<Atomic<std::uint32_t>>(0);
+        auto cost = std::make_shared<std::uint64_t>(0);
+        for (std::uint32_t p = 0; p < 6; ++p) {
+            if (p == writer)
+                continue;
+            m.spawn(p, [line] { (void)line->load(); });
+        }
+        m.spawn(writer, [line, cost] {
+            delay(5000);
+            const std::uint64_t t0 = now();
+            line->store(7);
+            *cost = now() - t0;
+        });
+        m.run();
+        return std::pair(*cost, m.stats().cross_socket_invalidations);
+    };
+    const auto [c0, x0] = write_cost(0);
+    (void)c0;
+    EXPECT_EQ(x0, 3u);  // three sharers live on socket 1
+}
+
+TEST(SimPlatformTest, CurrentSocketTracksTopology)
+{
+    Machine m(4, Topology{2, 2});
+    std::vector<std::uint32_t> seen(4, 99);
+    for (std::uint32_t p = 0; p < 4; ++p)
+        m.spawn(p, [&seen, p] { seen[p] = SimPlatform::current_socket(); });
+    m.run();
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+    EXPECT_EQ(SimPlatform::current_socket(), 0u);  // outside any sim
+    EXPECT_EQ(SimPlatform::socket_count(), 1u);
+}
+
 TEST(SimPlatformTest, SatisfiesPlatformConcept)
 {
     static_assert(reactive::Platform<SimPlatform>);
