@@ -44,6 +44,7 @@
 #include "sim/machine.hpp"
 #include "sim/sim_platform.hpp"
 #include "stats/table.hpp"
+#include "trace/export.hpp"
 
 namespace reactive::bench {
 
@@ -55,6 +56,7 @@ struct BenchArgs {
     bool smoke = false;      ///< tiny CI-sized runs (fig_calibration)
     bool native = false;     ///< include native pinned-thread sections
     std::uint64_t seed = 1;
+    std::string trace;       ///< Chrome-trace output path ("" = no trace)
 
     static BenchArgs parse(int argc, char** argv)
     {
@@ -68,10 +70,66 @@ struct BenchArgs {
                 a.native = true;
             else if (std::strncmp(argv[i], "--seed=", 7) == 0)
                 a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+            else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+                a.trace = argv[i] + 8;
+            else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+                a.trace = argv[++i];
         }
         return a;
     }
 };
+
+/**
+ * Arms the tracing layer when the harness was invoked with
+ * `--trace <file>`. A no-op (beyond a stderr note) when the binary was
+ * built without REACTIVE_TRACE — the run still completes and the drain
+ * writes a valid empty trace, so CI scripts need no build-mode switch.
+ */
+inline void start_trace(const BenchArgs& a)
+{
+    if (a.trace.empty())
+        return;
+    if constexpr (!trace::kCompiled)
+        std::cerr << "note: --trace given but REACTIVE_TRACE is compiled "
+                     "out; the trace will be empty\n";
+    trace::set_enabled(true);
+}
+
+/**
+ * Drains every trace ring to `<file>` (Chrome trace-event JSON) plus
+ * `<file>.audit` (switch-audit text) and prints the metrics rollup.
+ * Returns the number of failures (0 or 1) so mains can fold it into
+ * their exit code.
+ */
+inline int finish_trace(const BenchArgs& a)
+{
+    if (a.trace.empty())
+        return 0;
+    trace::set_enabled(false);
+    const trace::Capture cap = trace::capture();
+    bool ok = false;
+    {
+        std::ofstream out(a.trace);
+        if (out)
+            trace::write_chrome_json(out, cap);
+        ok = static_cast<bool>(out);
+    }
+    if (ok) {
+        std::ofstream audit(a.trace + ".audit");
+        if (audit)
+            trace::write_switch_audit(audit, cap);
+        ok = static_cast<bool>(audit);
+    }
+    if (!ok) {
+        std::cerr << "TRACE FAIL: could not write " << a.trace << "\n";
+        return 1;
+    }
+    cap.metrics.print(std::cout);
+    std::cout << "wrote trace " << a.trace << " (" << cap.events.size()
+              << " events, " << cap.total_dropped << " dropped; + "
+              << a.trace << ".audit)\n";
+    return 0;
+}
 
 // ---- CPU pinning (contended native tables) ----------------------------
 
@@ -159,6 +217,23 @@ class JsonRecords {
         records_.push_back(std::move(r));
     }
 
+    /**
+     * Attaches the simulator's cross-socket traffic counters to the
+     * most recent record (fig_numa cells). Extra keys only — the
+     * tolerance differ keys cells by (bench, protocol, procs, regime)
+     * and ignores fields it does not know, so cached baselines without
+     * them still diff cleanly.
+     */
+    void annotate_traffic(const sim::MachineStats& s)
+    {
+        if (records_.empty())
+            return;
+        Record& r = records_.back();
+        r.has_traffic = true;
+        r.cross_socket_transfers = s.cross_socket_transfers;
+        r.cross_socket_invalidations = s.cross_socket_invalidations;
+    }
+
     /// Writes the array to @p path; returns false on I/O failure.
     bool write(const std::string& path) const
     {
@@ -171,8 +246,13 @@ class JsonRecords {
             out << "  {\"bench\": \"" << r.bench << "\", \"protocol\": \""
                 << r.protocol << "\", \"procs\": " << r.procs
                 << ", \"regime\": \"" << r.regime
-                << "\", \"cycles_per_op\": " << r.cycles_per_op << "}"
-                << (i + 1 < records_.size() ? "," : "") << "\n";
+                << "\", \"cycles_per_op\": " << r.cycles_per_op;
+            if (r.has_traffic)
+                out << ", \"cross_socket_transfers\": "
+                    << r.cross_socket_transfers
+                    << ", \"cross_socket_invalidations\": "
+                    << r.cross_socket_invalidations;
+            out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
         }
         out << "]\n";
         return static_cast<bool>(out);
@@ -187,6 +267,9 @@ class JsonRecords {
         std::uint32_t procs = 0;
         std::string regime;
         double cycles_per_op = 0;
+        bool has_traffic = false;
+        std::uint64_t cross_socket_transfers = 0;
+        std::uint64_t cross_socket_invalidations = 0;
     };
     std::vector<Record> records_;
 };
@@ -218,11 +301,15 @@ class CrossoverTable {
     {
     }
 
-    /// Adds a row; rows flagged static join the per-column ideal.
+    /// Adds a row; rows flagged static join the per-column ideal. When
+    /// @p stats carries one MachineStats per column, emit() annotates
+    /// the row's JSON records with the cross-socket traffic counters.
     void row(std::string name, std::vector<double> cells,
-             bool is_static = false)
+             bool is_static = false,
+             std::vector<sim::MachineStats> stats = {})
     {
-        rows_.push_back(Row{std::move(name), std::move(cells), is_static});
+        rows_.push_back(Row{std::move(name), std::move(cells), is_static,
+                            std::move(stats)});
     }
 
     const std::vector<double>& cells(std::size_t i) const
@@ -298,9 +385,12 @@ class CrossoverTable {
         for (std::size_t c = 0; c < procs_.size(); ++c) {
             ideal_row.push_back(stats::fmt(best[c], 0));
             if (records != nullptr) {
-                for (const Row& r : rows_)
+                for (const Row& r : rows_) {
                     records->add(bench_, r.name, procs_[c], regime_,
                                  r.cells[c]);
+                    if (r.stats.size() == procs_.size())
+                        records->annotate_traffic(r.stats[c]);
+                }
                 records->add(bench_, "ideal", procs_[c], regime_, best[c]);
             }
         }
@@ -315,6 +405,7 @@ class CrossoverTable {
         std::string name;
         std::vector<double> cells;
         bool is_static;
+        std::vector<sim::MachineStats> stats;  ///< per-cell, or empty
     };
 
     std::string title_;

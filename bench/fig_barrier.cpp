@@ -369,6 +369,7 @@ void native_table(bool full)
 int main(int argc, char** argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    start_trace(args);
 
     if (!args.smoke) {
         sim_regime_table(
@@ -436,6 +437,7 @@ int main(int argc, char** argv)
     }
     std::cout << "\nwrote BENCH_barrier.json (" << g_records.size()
               << " records)\n";
+    g_failures += finish_trace(args);
     if (g_failures > 0) {
         std::cout << g_failures
                   << " barrier 3-protocol envelope check(s) FAILED\n";

@@ -515,6 +515,7 @@ void native_tables(const BenchArgs& args)
 int main(int argc, char** argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    start_trace(args);
     // Smoke runs are sized for CI wall-clock, far below the policies'
     // convergence horizon; their tables are exercise, not evidence.
     g_check_enabled = !args.smoke;
@@ -549,6 +550,7 @@ int main(int argc, char** argv)
     }
     std::cout << "\nwrote BENCH_calibration.json (" << g_records.size()
               << " records)\n";
+    g_failures += finish_trace(args);
     if (g_failures > 0) {
         std::cout << g_failures << " envelope check(s) FAILED\n";
         return 1;

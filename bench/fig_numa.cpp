@@ -39,7 +39,8 @@
  *    everywhere, as in fig_barrier/fig_calibration.
  *
  * All cells land in BENCH_numa.json for the CI tolerance diff
- * (advisory for one PR, per the promotion policy in ci.yml).
+ * (blocking, like the calibration and barrier tables), annotated with
+ * the simulator's cross-socket traffic counters per cell.
  */
 #include <cmath>
 #include <iostream>
@@ -176,11 +177,11 @@ ReactiveBarrierParams reactive_topo_params(std::uint32_t sockets)
 template <typename B>
 double barrier_cell(std::shared_ptr<B> bar, std::uint32_t procs,
                     std::uint32_t sockets, std::uint32_t episodes,
-                    std::uint64_t seed)
+                    std::uint64_t seed, sim::MachineStats* stats_out)
 {
     const std::uint64_t elapsed = apps::run_barrier_uniform<B>(
         procs, episodes, /*compute=*/200, seed, std::move(bar),
-        sim::Topology{sockets, 0});
+        sim::Topology{sockets, 0}, stats_out);
     return static_cast<double>(elapsed) / episodes;
 }
 
@@ -194,29 +195,39 @@ void barrier_table(std::uint32_t sockets, const BenchArgs& args)
                              "arrivals",
                          bench, "bunched", procs, "P=", "algorithm");
     std::vector<std::vector<double>> rows(5);
+    std::vector<std::vector<sim::MachineStats>> traffic(5);
+    const auto cell_stats = [&](std::size_t r) {
+        traffic[r].emplace_back();
+        return &traffic[r].back();
+    };
     for (std::uint32_t p : procs) {
         rows[0].push_back(barrier_cell(std::make_shared<CentralSim>(p), p,
-                                       sockets, episodes, args.seed));
+                                       sockets, episodes, args.seed,
+                                       cell_stats(0)));
         rows[1].push_back(barrier_cell(std::make_shared<TreeSim>(p, 4u), p,
-                                       sockets, episodes, args.seed));
+                                       sockets, episodes, args.seed,
+                                       cell_stats(1)));
         rows[2].push_back(barrier_cell(
             std::make_shared<TreeSim>(p, 4u, false, sockets, 0u), p,
-            sockets, episodes, args.seed));
+            sockets, episodes, args.seed, cell_stats(2)));
         rows[3].push_back(barrier_cell(std::make_shared<DissemSim>(p), p,
-                                       sockets, episodes, args.seed));
+                                       sockets, episodes, args.seed,
+                                       cell_stats(3)));
         rows[4].push_back(barrier_cell(
             std::make_shared<Reactive3Sim>(
                 p, reactive_topo_params(sockets),
                 CalibratedLadderPolicy(ladder3_params())),
-            p, sockets, episodes, args.seed));
+            p, sockets, episodes, args.seed, cell_stats(4)));
         std::cerr << "." << std::flush;
     }
     std::cerr << "\n";
-    table.row("central (counter)", rows[0], /*is_static=*/true);
-    table.row("tree blind (fan-in 4)", rows[1], /*is_static=*/true);
-    table.row("tree topology-aware", rows[2], /*is_static=*/true);
-    table.row("dissemination", rows[3], /*is_static=*/true);
-    table.row("reactive 3-protocol (topo tree)", rows[4]);
+    table.row("central (counter)", rows[0], /*is_static=*/true, traffic[0]);
+    table.row("tree blind (fan-in 4)", rows[1], /*is_static=*/true,
+              traffic[1]);
+    table.row("tree topology-aware", rows[2], /*is_static=*/true,
+              traffic[2]);
+    table.row("dissemination", rows[3], /*is_static=*/true, traffic[3]);
+    table.row("reactive 3-protocol (topo tree)", rows[4], false, traffic[4]);
     table.emit(&g_records,
                {"two-level cost model: cross-socket fetches pay "
                 "cross_socket_extra;",
@@ -244,11 +255,12 @@ CohortSim::Params cohort_params(std::uint32_t sockets)
 template <typename L>
 double lock_cell(std::shared_ptr<L> lock, std::uint32_t procs,
                  std::uint32_t sockets, std::uint32_t iters,
-                 std::uint32_t think, std::uint64_t seed)
+                 std::uint32_t think, std::uint64_t seed,
+                 sim::MachineStats* stats_out)
 {
     const std::uint64_t elapsed = apps::run_lock_cycle<L>(
         procs, iters, /*cs=*/100, think, seed, std::move(lock),
-        sim::Topology{sockets, 0});
+        sim::Topology{sockets, 0}, stats_out);
     return static_cast<double>(elapsed) /
            (static_cast<double>(procs) * iters);
 }
@@ -264,6 +276,11 @@ void lock_table(std::uint32_t sockets, bool hot, const BenchArgs& args)
                              regime + " regime",
                          bench, regime, procs, "P=", "algorithm");
     std::vector<std::vector<double>> rows(4);
+    std::vector<std::vector<sim::MachineStats>> traffic(4);
+    const auto cell_stats = [&](std::size_t r) {
+        traffic[r].emplace_back();
+        return &traffic[r].back();
+    };
     for (std::uint32_t p : procs) {
         // Hot: every release finds waiters — the handoff-locality
         // regime the cohort protocol targets. Light: think time scales
@@ -272,24 +289,26 @@ void lock_table(std::uint32_t sockets, bool hot, const BenchArgs& args)
         // sides of the crossover.
         const std::uint32_t think = hot ? 200 : 2000 * p;
         rows[0].push_back(lock_cell(std::make_shared<TtsNodeSim>(), p,
-                                    sockets, iters, think, args.seed));
+                                    sockets, iters, think, args.seed,
+                                    cell_stats(0)));
         rows[1].push_back(lock_cell(std::make_shared<McsNodeSim>(), p,
-                                    sockets, iters, think, args.seed));
+                                    sockets, iters, think, args.seed,
+                                    cell_stats(1)));
         rows[2].push_back(
             lock_cell(std::make_shared<CohortNodeLock>(cohort_params(sockets)),
-                      p, sockets, iters, think, args.seed));
+                      p, sockets, iters, think, args.seed, cell_stats(2)));
         rows[3].push_back(lock_cell(
             std::make_shared<ReactiveCohortSim>(
                 ReactiveLockParams{}, CalibratedCompetitive3Policy{},
                 cohort_params(sockets)),
-            p, sockets, iters, think, args.seed));
+            p, sockets, iters, think, args.seed, cell_stats(3)));
         std::cerr << "." << std::flush;
     }
     std::cerr << "\n";
-    table.row("tts", rows[0], /*is_static=*/true);
-    table.row("mcs blind", rows[1], /*is_static=*/true);
-    table.row("cohort queue (B=4)", rows[2], /*is_static=*/true);
-    table.row("reactive (tts <-> cohort)", rows[3]);
+    table.row("tts", rows[0], /*is_static=*/true, traffic[0]);
+    table.row("mcs blind", rows[1], /*is_static=*/true, traffic[1]);
+    table.row("cohort queue (B=4)", rows[2], /*is_static=*/true, traffic[2]);
+    table.row("reactive (tts <-> cohort)", rows[3], false, traffic[3]);
     table.emit(&g_records,
                {"cohort handoff grants within the holder's socket for at "
                 "most B=4",
@@ -310,6 +329,7 @@ void lock_table(std::uint32_t sockets, bool hot, const BenchArgs& args)
 int main(int argc, char** argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
+    start_trace(args);
 
     for (std::uint32_t s : numa_sockets(args))
         barrier_table(s, args);
@@ -324,6 +344,7 @@ int main(int argc, char** argv)
     }
     std::cout << "\nwrote BENCH_numa.json (" << g_records.size()
               << " records)\n";
+    g_failures += finish_trace(args);
     if (g_failures > 0) {
         std::cout << g_failures << " NUMA crossover check(s) FAILED\n";
         return 1;

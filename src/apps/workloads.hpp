@@ -261,6 +261,8 @@ std::uint64_t run_cholesky(std::uint32_t procs, std::uint32_t updates_per_proc,
  * different experiment than the figure reports. Pass a constructed
  * lock to parameterize policies; inspect it after return.
  *
+ * @param stats_out when non-null, receives the machine's final counter
+ *        snapshot (mem ops, cross-socket traffic, ...) after the run.
  * @return simulated elapsed cycles.
  */
 template <typename L>
@@ -268,7 +270,8 @@ std::uint64_t run_lock_cycle(std::uint32_t procs, std::uint32_t iters,
                              std::uint32_t cs, std::uint32_t think,
                              std::uint64_t seed = 1,
                              std::shared_ptr<L> lock = nullptr,
-                             sim::Topology topo = {})
+                             sim::Topology topo = {},
+                             sim::MachineStats* stats_out = nullptr)
 {
     sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     std::shared_ptr<L> l = std::move(lock);
@@ -290,6 +293,8 @@ std::uint64_t run_lock_cycle(std::uint32_t procs, std::uint32_t iters,
         });
     }
     m.run();
+    if (stats_out != nullptr)
+        *stats_out = m.stats();
     return m.elapsed();
 }
 
@@ -426,6 +431,8 @@ std::uint64_t run_rw_phases(std::uint32_t procs, std::uint32_t phases,
  *        fresh: barrier Nodes are bound to their barrier for life (they
  *        carry the episode sense), and each run creates its own, so a
  *        barrier cannot be carried across runs the way a lock can.
+ * @param stats_out when non-null, receives the machine's final counter
+ *        snapshot (mem ops, cross-socket traffic, ...) after the run.
  * @return simulated elapsed cycles.
  */
 template <Barrier B>
@@ -433,7 +440,8 @@ std::uint64_t run_barrier_uniform(std::uint32_t procs, std::uint32_t episodes,
                                   std::uint32_t compute = 400,
                                   std::uint64_t seed = 1,
                                   std::shared_ptr<B> barrier = nullptr,
-                                  sim::Topology topo = {})
+                                  sim::Topology topo = {},
+                                  sim::MachineStats* stats_out = nullptr)
 {
     sim::Machine m(procs, topo, sim::CostModel::alewife(), seed);
     auto bar = barrier ? std::move(barrier) : std::make_shared<B>(procs);
@@ -449,6 +457,8 @@ std::uint64_t run_barrier_uniform(std::uint32_t procs, std::uint32_t episodes,
         });
     }
     m.run();
+    if (stats_out != nullptr)
+        *stats_out = m.stats();
     return m.elapsed();
 }
 

@@ -90,6 +90,7 @@
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
 #include "platform/thread_slots.hpp"
+#include "trace/instrument.hpp"
 
 namespace reactive {
 
@@ -440,6 +441,17 @@ class ReactiveBarrier {
             sample = spread;
         }
         const ProtocolSignal sig{m, drift};
+        const trace::ProbeWatch<Select> probe(select_, trace::enabled());
+        if constexpr (trace::kCompiled) {
+            // The episode record reuses the consensus stamp and the
+            // classified cost sample — no extra measurement.
+            if (trace::enabled()) [[unlikely]]
+                trace::emit(trace::EventType::kEpisode,
+                            trace::ObjectClass::kBarrier, trace_id_,
+                            static_cast<std::uint8_t>(m),
+                            static_cast<std::uint8_t>(m), end, sample,
+                            participants_);
+        }
         std::uint32_t next;
         if constexpr (kCalibrating) {
             if (params_.free_monitoring && sample == 0) {
@@ -469,8 +481,27 @@ class ReactiveBarrier {
             // first-sample-after-switch discard, and the policy's
             // switch-cost accounting scales the span to a disruption
             // estimate, exactly as for the locks.
-            if constexpr (kCalibrating)
-                select_.on_switch_cycles(P::now() - end);
+            [[maybe_unused]] std::uint64_t dur = 0;
+            if constexpr (kCalibrating) {
+                dur = P::now() - end;
+                select_.on_switch_cycles(dur);
+            }
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]]
+                    trace::emit(trace::EventType::kSwitch,
+                                trace::ObjectClass::kBarrier, trace_id_,
+                                static_cast<std::uint8_t>(m),
+                                static_cast<std::uint8_t>(next), P::now(),
+                                trace::pack_signal(sig.protocol, sig.drift),
+                                trace::estimator_pair(select_, m, next),
+                                dur);
+            }
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]]
+                probe.emit_edges(select_, trace::ObjectClass::kBarrier,
+                                 trace_id_, static_cast<std::uint8_t>(m),
+                                 static_cast<std::uint8_t>(next), P::now());
         }
     }
 
@@ -511,6 +542,10 @@ class ReactiveBarrier {
     // Socket of the previous completer (socket-aware policies only;
     // mutated in-consensus only).
     SocketHandoffTracker<P> completer_socket_;
+    // Trace identity (0 when tracing is compiled out). Unconditional
+    // member so object layout is identical in both build modes.
+    std::uint32_t trace_id_ =
+        trace::new_object(trace::ObjectClass::kBarrier);
 };
 
 }  // namespace reactive

@@ -50,6 +50,7 @@
 
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
+#include "trace/trace.hpp"
 
 namespace reactive {
 
@@ -201,6 +202,11 @@ class CohortQueue {
         if (sockets_ == 1 || ss.passes < params_.cohort_limit) {
             // Cohort pass: lock and global tenancy stay on this socket.
             ++ss.passes;
+            REACTIVE_TRACE_EVENT(trace::EventType::kCohortGrant,
+                                 trace::ObjectClass::kCohort, trace_id_,
+                                 static_cast<std::uint8_t>(node.socket),
+                                 static_cast<std::uint8_t>(node.socket),
+                                 P::now(), ss.passes);
             succ->status.store(kGoGlobal, std::memory_order_release);
             return;
         }
@@ -208,6 +214,11 @@ class CohortQueue {
         // socket's global node must be out of it before the promoted
         // successor can re-enqueue it), then the successor becomes a
         // plain leader and waits its socket's next global turn.
+        REACTIVE_TRACE_EVENT(trace::EventType::kCohortHandoff,
+                             trace::ObjectClass::kCohort, trace_id_,
+                             static_cast<std::uint8_t>(node.socket),
+                             static_cast<std::uint8_t>(node.socket),
+                             P::now(), ss.passes);
         release_global(ss);
         succ->status.store(kGoAcquire, std::memory_order_release);
     }
@@ -278,6 +289,13 @@ class CohortQueue {
      */
     void invalidate(Node* head)
     {
+        // The caller holds the valid consensus object of another
+        // protocol; this is the retire/abort edge of a protocol change.
+        REACTIVE_TRACE_EVENT(trace::EventType::kCohortAbort,
+                             trace::ObjectClass::kCohort, trace_id_,
+                             static_cast<std::uint8_t>(head->socket),
+                             static_cast<std::uint8_t>(head->socket),
+                             P::now());
         SocketState& ss = *socks_[head->socket];
         // Global first: future leaders on any socket must bail.
         GlobalNode& g = ss.gnode;
@@ -470,6 +488,9 @@ class CohortQueue {
     std::uint32_t sockets_;
     std::unique_ptr<CacheAligned<SocketState>[]> socks_;
     std::uint64_t grants_ = 0;  // mutated by lock holders only
+    // Trace identity (0 when tracing is compiled out). Unconditional
+    // member so object layout is identical in both build modes.
+    std::uint32_t trace_id_ = trace::new_object(trace::ObjectClass::kCohort);
 };
 
 }  // namespace reactive

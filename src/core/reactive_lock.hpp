@@ -55,6 +55,7 @@
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
+#include "trace/instrument.hpp"
 
 namespace reactive {
 
@@ -157,6 +158,9 @@ class ReactiveLock {
             // against this socket (plain store, no timestamp).
             if constexpr (kSocketAware)
                 (void)note_holder_socket();
+            REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
+                                 trace::ObjectClass::kLock, trace_id_,
+                                 kTtsIndex, kTtsIndex, P::now());
             return ReleaseMode::kTts;
         }
         // Dispatch loop: each protocol attempt either succeeds or
@@ -195,6 +199,9 @@ class ReactiveLock {
                 select_.on_tts_fast_acquire();
             if constexpr (kSocketAware)
                 (void)note_holder_socket();
+            REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
+                                 trace::ObjectClass::kLock, trace_id_,
+                                 kTtsIndex, kTtsIndex, P::now());
             return ReleaseMode::kTts;
         }
         if (mode() == Mode::kQueue && queue_.try_acquire(node)) {
@@ -282,10 +289,12 @@ class ReactiveLock {
     ReleaseMode tts_acquired(bool contended, bool spun, std::uint64_t start)
     {
         const ProtocolSignal sig{kTtsIndex, contended ? +1 : 0};
+        const trace::ProbeWatch<Select> probe(select_, trace::enabled());
+        [[maybe_unused]] std::uint64_t cycles = 0;
         std::uint32_t next;
         if constexpr (kCalibrating) {
             if (contended || !spun) {
-                const std::uint64_t cycles = P::now() - start;
+                cycles = P::now() - start;
                 if constexpr (kSocketAware)
                     next = select_.next_protocol(sig, cycles,
                                                  note_holder_socket());
@@ -300,6 +309,19 @@ class ReactiveLock {
             (void)spun;
             (void)start;
             next = select_.next_protocol(sig);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]] {
+                const std::uint64_t ts = P::now();
+                trace::emit(trace::EventType::kAcqSample,
+                            trace::ObjectClass::kLock, trace_id_,
+                            kTtsIndex, static_cast<std::uint8_t>(next), ts,
+                            cycles,
+                            trace::pack_signal(sig.protocol, sig.drift));
+                probe.emit_edges(select_, trace::ObjectClass::kLock,
+                                 trace_id_, kTtsIndex,
+                                 static_cast<std::uint8_t>(next), ts);
+            }
         }
         return next != kTtsIndex ? ReleaseMode::kTtsToQueue
                                  : ReleaseMode::kTts;
@@ -335,9 +357,11 @@ class ReactiveLock {
     ReleaseMode queue_acquired(bool empty, std::uint64_t start)
     {
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
+        const trace::ProbeWatch<Select> probe(select_, trace::enabled());
+        [[maybe_unused]] std::uint64_t cycles = 0;
         std::uint32_t next;
         if constexpr (kCalibrating) {
-            const std::uint64_t cycles = P::now() - start;
+            cycles = P::now() - start;
             if constexpr (kSocketAware)
                 next = select_.next_protocol(sig, cycles,
                                              note_holder_socket());
@@ -345,6 +369,19 @@ class ReactiveLock {
                 next = select_.next_protocol(sig, cycles);
         } else {
             next = select_.next_protocol(sig);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]] {
+                const std::uint64_t ts = P::now();
+                trace::emit(trace::EventType::kAcqSample,
+                            trace::ObjectClass::kLock, trace_id_,
+                            kQueueIndex, static_cast<std::uint8_t>(next), ts,
+                            cycles,
+                            trace::pack_signal(sig.protocol, sig.drift));
+                probe.emit_edges(select_, trace::ObjectClass::kLock,
+                                 trace_id_, kQueueIndex,
+                                 static_cast<std::uint8_t>(next), ts);
+            }
         }
         return next != kQueueIndex ? ReleaseMode::kQueueToTts
                                    : ReleaseMode::kQueue;
@@ -392,8 +429,21 @@ class ReactiveLock {
                           std::memory_order_release);
         ++protocol_changes_;
         select_.on_switch();
-        if constexpr (kCalibrating)
-            select_.on_switch_cycles(P::now() - start);
+        [[maybe_unused]] std::uint64_t dur = 0;
+        if constexpr (kCalibrating) {
+            dur = P::now() - start;
+            select_.on_switch_cycles(dur);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]]
+                trace::emit(trace::EventType::kSwitch,
+                            trace::ObjectClass::kLock, trace_id_, kTtsIndex,
+                            kQueueIndex, P::now(),
+                            trace::pack_signal(kTtsIndex, +1),
+                            trace::estimator_pair(select_, kTtsIndex,
+                                                  kQueueIndex),
+                            dur);
+        }
         queue_.release(node);
     }
 
@@ -411,8 +461,21 @@ class ReactiveLock {
         // Still in consensus until the TTS word is freed below; the
         // measured span covers the queue dismantling (the expensive
         // half of this direction's change).
-        if constexpr (kCalibrating)
-            select_.on_switch_cycles(P::now() - start);
+        [[maybe_unused]] std::uint64_t dur = 0;
+        if constexpr (kCalibrating) {
+            dur = P::now() - start;
+            select_.on_switch_cycles(dur);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]]
+                trace::emit(trace::EventType::kSwitch,
+                            trace::ObjectClass::kLock, trace_id_,
+                            kQueueIndex, kTtsIndex, P::now(),
+                            trace::pack_signal(kQueueIndex, -1),
+                            trace::estimator_pair(select_, kQueueIndex,
+                                                  kTtsIndex),
+                            dur);
+        }
         release_tts();
     }
 
@@ -429,6 +492,9 @@ class ReactiveLock {
     // Socket of the previous holder (socket-aware policies only;
     // mutated in-consensus by each new holder).
     SocketHandoffTracker<P> holder_socket_;
+    // Trace identity (0 when tracing is compiled out). Unconditional
+    // member so object layout is identical in both build modes.
+    std::uint32_t trace_id_ = trace::new_object(trace::ObjectClass::kLock);
 };
 
 }  // namespace reactive

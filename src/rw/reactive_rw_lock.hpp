@@ -66,6 +66,7 @@
 #include "rw/queue_rw_lock.hpp"
 #include "rw/rw_concepts.hpp"
 #include "rw/simple_rw_lock.hpp"
+#include "trace/instrument.hpp"
 
 namespace reactive {
 
@@ -197,6 +198,9 @@ class ReactiveRwLock {
                 select_.on_tts_fast_acquire();
             if constexpr (kSocketAware)
                 (void)note_writer_socket();  // still the new writer
+            REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
+                                 trace::ObjectClass::kRwLock, trace_id_,
+                                 kSimpleIndex, kSimpleIndex, P::now());
             n.rm = ReleaseMode::kSimple;
             return;
         }
@@ -362,13 +366,16 @@ class ReactiveRwLock {
             case Attempt::kAcquired: {
                 const bool contended = retries > params_.write_retry_limit;
                 const ProtocolSignal sig{kSimpleIndex, contended ? +1 : 0};
+                const trace::ProbeWatch<Select> probe(select_,
+                                                      trace::enabled());
+                [[maybe_unused]] std::uint64_t cycles = 0;
                 std::uint32_t next;
                 if constexpr (kCalibrating) {
                     // Sample only clean classes (immediate or past the
                     // retry limit); mid-spin wins measure waiting, not
                     // protocol cost (see cost_model.hpp).
                     if (contended || retries == 0) {
-                        const std::uint64_t cycles = P::now() - start;
+                        cycles = P::now() - start;
                         if constexpr (kSocketAware)
                             next = select_.next_protocol(
                                 sig, cycles, note_writer_socket());
@@ -381,6 +388,23 @@ class ReactiveRwLock {
                     }
                 } else {
                     next = select_.next_protocol(sig);
+                }
+                if constexpr (trace::kCompiled) {
+                    if (trace::enabled()) [[unlikely]] {
+                        const std::uint64_t ts = P::now();
+                        trace::emit(trace::EventType::kAcqSample,
+                                    trace::ObjectClass::kRwLock, trace_id_,
+                                    kSimpleIndex,
+                                    static_cast<std::uint8_t>(next), ts,
+                                    cycles,
+                                    trace::pack_signal(sig.protocol,
+                                                       sig.drift));
+                        probe.emit_edges(select_,
+                                         trace::ObjectClass::kRwLock,
+                                         trace_id_, kSimpleIndex,
+                                         static_cast<std::uint8_t>(next),
+                                         ts);
+                    }
                 }
                 return next != kSimpleIndex ? ReleaseMode::kSimpleToQueue
                                             : ReleaseMode::kSimple;
@@ -408,9 +432,11 @@ class ReactiveRwLock {
             return std::nullopt;
         const bool empty = outcome == QOutcome::kAcquiredEmpty;
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
+        const trace::ProbeWatch<Select> probe(select_, trace::enabled());
+        [[maybe_unused]] std::uint64_t cycles = 0;
         std::uint32_t next;
         if constexpr (kCalibrating) {
-            const std::uint64_t cycles = P::now() - start;
+            cycles = P::now() - start;
             if constexpr (kSocketAware)
                 next =
                     select_.next_protocol(sig, cycles, note_writer_socket());
@@ -418,6 +444,19 @@ class ReactiveRwLock {
                 next = select_.next_protocol(sig, cycles);
         } else {
             next = select_.next_protocol(sig);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]] {
+                const std::uint64_t ts = P::now();
+                trace::emit(trace::EventType::kAcqSample,
+                            trace::ObjectClass::kRwLock, trace_id_,
+                            kQueueIndex, static_cast<std::uint8_t>(next), ts,
+                            cycles,
+                            trace::pack_signal(sig.protocol, sig.drift));
+                probe.emit_edges(select_, trace::ObjectClass::kRwLock,
+                                 trace_id_, kQueueIndex,
+                                 static_cast<std::uint8_t>(next), ts);
+            }
         }
         return next != kQueueIndex ? ReleaseMode::kQueueToSimple
                                    : ReleaseMode::kQueue;
@@ -435,8 +474,21 @@ class ReactiveRwLock {
                           std::memory_order_release);
         ++protocol_changes_;
         select_.on_switch();
-        if constexpr (kCalibrating)
-            select_.on_switch_cycles(P::now() - start);
+        [[maybe_unused]] std::uint64_t dur = 0;
+        if constexpr (kCalibrating) {
+            dur = P::now() - start;
+            select_.on_switch_cycles(dur);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]]
+                trace::emit(trace::EventType::kSwitch,
+                            trace::ObjectClass::kRwLock, trace_id_,
+                            kSimpleIndex, kQueueIndex, P::now(),
+                            trace::pack_signal(kSimpleIndex, +1),
+                            trace::estimator_pair(select_, kSimpleIndex,
+                                                  kQueueIndex),
+                            dur);
+        }
         queue_.end_write(n.qnode);
     }
 
@@ -452,8 +504,21 @@ class ReactiveRwLock {
         select_.on_switch();
         queue_.invalidate(&n.qnode);
         // Still in consensus until validate_free() publishes the word.
-        if constexpr (kCalibrating)
-            select_.on_switch_cycles(P::now() - start);
+        [[maybe_unused]] std::uint64_t dur = 0;
+        if constexpr (kCalibrating) {
+            dur = P::now() - start;
+            select_.on_switch_cycles(dur);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]]
+                trace::emit(trace::EventType::kSwitch,
+                            trace::ObjectClass::kRwLock, trace_id_,
+                            kQueueIndex, kSimpleIndex, P::now(),
+                            trace::pack_signal(kQueueIndex, -1),
+                            trace::estimator_pair(select_, kQueueIndex,
+                                                  kSimpleIndex),
+                            dur);
+        }
         simple_.validate_free();
     }
 
@@ -469,6 +534,9 @@ class ReactiveRwLock {
     // Socket of the previous writer (socket-aware policies only;
     // mutated only by writers, under full exclusivity).
     SocketHandoffTracker<P> writer_socket_;
+    // Trace identity (0 when tracing is compiled out). Unconditional
+    // member so object layout is identical in both build modes.
+    std::uint32_t trace_id_ = trace::new_object(trace::ObjectClass::kRwLock);
 };
 
 }  // namespace reactive

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Instrumentation helpers shared by the reactive primitives.
+ *
+ * Everything here runs only inside `if (trace::enabled())` blocks at
+ * consensus points (the emitting process holds the object), so reading
+ * policy accessors like `probing()` / `estimator()` is exactly as safe
+ * as the policy mutation happening on the same line of the caller.
+ * When tracing is compiled out, ProbeWatch is an empty shell and the
+ * packers are never called.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace reactive::trace {
+
+/// kSwitch/kAcqSample signal payload: (protocol << 8) | (drift + 1).
+inline std::uint64_t pack_signal(std::uint32_t protocol, int drift)
+{
+    return (static_cast<std::uint64_t>(protocol) << 8) |
+           static_cast<std::uint64_t>(drift + 1);
+}
+
+namespace detail {
+inline std::uint64_t clamp32(double v)
+{
+    if (v <= 0)
+        return 0;
+    if (v >= 4294967295.0)
+        return 0xffffffffu;
+    return static_cast<std::uint64_t>(v);
+}
+}  // namespace detail
+
+/**
+ * Estimator snapshot for switch events: two packed 32-bit latencies.
+ * Calibrated binary policies expose a CostEstimator (tts/queue EWMAs);
+ * ladder policies expose per-rung latencies — snapshot the rungs being
+ * left and entered. Policies without estimators snapshot as 0.
+ */
+template <typename Select>
+std::uint64_t estimator_pair(const Select& s, std::uint32_t from,
+                             std::uint32_t to)
+{
+    if constexpr (requires(const Select& q) {
+                      q.estimator().tts_latency();
+                      q.estimator().queue_latency();
+                  }) {
+        (void)from;
+        (void)to;
+        return (detail::clamp32(s.estimator().tts_latency()) << 32) |
+               detail::clamp32(s.estimator().queue_latency());
+    } else if constexpr (requires(const Select& q) {
+                             q.latency(std::uint32_t{0});
+                         }) {
+        return (detail::clamp32(s.latency(from)) << 32) |
+               detail::clamp32(s.latency(to));
+    } else {
+        (void)s;
+        (void)from;
+        (void)to;
+        return 0;
+    }
+}
+
+/**
+ * Detects probe begin/end transitions across one `next_protocol` call
+ * by snapshotting the policy's probe state before and comparing after.
+ * Works for any policy exposing `probing()` + `probes_started()`
+ * (CalibratedCompetitive3Policy, CalibratedLadderPolicy); probe
+ * outcome additionally uses `adoptions()` when present. For every
+ * other policy the watch is a no-op.
+ */
+template <typename Select>
+class ProbeWatch {
+  public:
+    static constexpr bool kWatchable =
+        kCompiled && requires(const Select& s) {
+            s.probing();
+            s.probes_started();
+        };
+
+    ProbeWatch(const Select& s, bool armed)
+    {
+        if constexpr (kWatchable) {
+            if (armed) [[unlikely]] {
+                armed_ = true;
+                probing_ = s.probing();
+                if constexpr (requires { s.adoptions(); })
+                    adoptions_ = s.adoptions();
+            }
+        } else {
+            (void)s;
+            (void)armed;
+        }
+    }
+
+    /// Call after next_protocol() (still in consensus): emits
+    /// kProbeBegin / kProbeEnd if the policy crossed a probe edge.
+    void emit_edges(const Select& s, ObjectClass cls, std::uint32_t object,
+                    std::uint8_t cur, std::uint8_t next,
+                    std::uint64_t ts) const
+    {
+        if constexpr (kWatchable) {
+            if (!armed_)
+                return;
+            const bool now_probing = s.probing();
+            if (now_probing == probing_)
+                return;
+            if (now_probing) {
+                emit(EventType::kProbeBegin, cls, object, cur, next, ts, 0,
+                     s.probes_started());
+                return;
+            }
+            std::uint64_t outcome = 2;  // unknown
+            if constexpr (requires { s.adoptions(); })
+                outcome = s.adoptions() > adoptions_ ? 1 : 0;
+            emit(EventType::kProbeEnd, cls, object, cur, next, ts, outcome,
+                 s.probes_started());
+        } else {
+            (void)s;
+            (void)cls;
+            (void)object;
+            (void)cur;
+            (void)next;
+            (void)ts;
+        }
+    }
+
+  private:
+    [[maybe_unused]] bool armed_ = false;
+    [[maybe_unused]] bool probing_ = false;
+    [[maybe_unused]] std::uint64_t adoptions_ = 0;
+};
+
+}  // namespace reactive::trace

@@ -6,11 +6,14 @@ cell as a flat record {bench, protocol, procs, regime, cycles_per_op}.
 This script diffs a baseline dump (a previous run on the same runner
 class) against the current one with a relative tolerance, so CI can
 flag drifting crossovers without a human eyeballing tables. Blocking
-policy lives in the CI steps, not here: the calibration and barrier
-dumps have been stable across runs and now run as a *blocking* step
-(an out-of-tolerance diff means a real behavior change the PR must own
-up to), while newly added dumps (currently BENCH_numa.json) stay
-advisory for one PR before promotion.
+policy lives in the CI steps, not here: all three dumps (calibration,
+barrier, numa) run as *blocking* steps — an out-of-tolerance diff
+means a real behavior change the PR must own up to. Newly added dumps
+stay advisory for one PR before promotion.
+
+When GITHUB_STEP_SUMMARY is set (GitHub Actions), a per-cell delta
+table — worst regressions first — is appended to the job summary, so
+a reviewer sees where the drift is without scrolling raw logs.
 
 Usage:
   bench_tolerance.py BASELINE.json CURRENT.json [--tolerance 0.15]
@@ -22,6 +25,7 @@ cells and brand-new cells are reported but do not fail), 1 violations,
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -39,6 +43,46 @@ def load(path):
     return cells
 
 
+def write_step_summary(current_name, deltas, violations, tolerance,
+                       top=15):
+    """Appends a worst-first per-cell delta table to the GitHub
+    Actions step summary (no-op outside Actions)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    # Worst regressions first: signed delta descending (slowdowns top),
+    # then magnitude.
+    ranked = sorted(deltas, key=lambda d: -d[3])
+    verdict = (f"**{len(violations)} cell(s) outside "
+               f"{tolerance * 100:.0f}%**" if violations
+               else f"all {len(deltas)} cells within "
+                    f"{tolerance * 100:.0f}%")
+    lines = [
+        f"### Bench tolerance: `{current_name}`",
+        "",
+        verdict,
+        "",
+        "| cell | baseline | current | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for key, b, c, signed in ranked[:top]:
+        bench, protocol, procs, regime = key
+        mark = " ⚠️" if abs(signed) > tolerance else ""
+        lines.append(f"| {bench}/{regime} P={procs} {protocol} | "
+                     f"{b:.1f} | {c:.1f} | {signed * 100:+.1f}%{mark} |")
+    if len(ranked) > top:
+        lines.append("")
+        lines.append(f"_{len(ranked) - top} more cells within tolerance "
+                     "omitted._")
+    lines.append("")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"bench_tolerance: cannot append step summary: {e}",
+              file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -51,6 +95,7 @@ def main():
     cur = load(args.current)
 
     violations = []
+    deltas = []  # (key, baseline, current, signed relative delta)
     compared = 0
     for key, b in sorted(base.items()):
         if key not in cur:
@@ -63,9 +108,12 @@ def main():
         if b == 0:
             ok = c == 0
             rel = float("inf") if not ok else 0.0
+            signed = rel
         else:
             rel = abs(c - b) / abs(b)
+            signed = (c - b) / abs(b)
             ok = rel <= args.tolerance
+        deltas.append((key, b, c, signed))
         if not ok:
             violations.append((key, b, c, rel))
     for key in sorted(set(cur) - set(base)):
@@ -79,6 +127,7 @@ def main():
 
     print(f"bench_tolerance: {compared} cells compared, "
           f"{len(violations)} outside {args.tolerance * 100:.0f}%")
+    write_step_summary(args.current, deltas, violations, args.tolerance)
     return 1 if violations else 0
 
 

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Reconstruct protocol-decision timelines from a reactive trace.
+
+Reads the Chrome trace-event JSON written by `--trace <file>` (see
+src/trace/export.hpp for the event schema) and replays it into a
+per-object decision narrative: which protocol each object started on,
+every switch with its triggering signal / drift / estimator snapshot,
+probe episodes and their outcomes, and the per-class metric rollup the
+binary embedded under "reactiveMetrics".
+
+Exits nonzero on a malformed trace — unparseable JSON, missing keys,
+unknown event types, timestamps out of order in the drained stream, or
+a broken switch chain (an object switching *from* a protocol it was
+never *on*). CI runs this over the traced fig_calibration smoke run
+as the round-trip validation of the whole tracing pipeline.
+
+Usage:
+  tools/trace_explain.py TRACE.json [--min-events N] [--min-switches N]
+                         [--quiet]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+KNOWN_TYPES = {
+    "switch",
+    "probe_begin",
+    "probe_end",
+    "acq_sample",
+    "fast_acquire",
+    "episode",
+    "cohort_grant",
+    "cohort_handoff",
+    "cohort_abort",
+}
+
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "tid", "args")
+REQUIRED_ARG_KEYS = ("object", "from", "to")
+
+
+class MalformedTrace(Exception):
+    pass
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise MalformedTrace(f"cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise MalformedTrace("missing top-level traceEvents array")
+    if not isinstance(doc["traceEvents"], list):
+        raise MalformedTrace("traceEvents is not an array")
+    return doc
+
+
+def validate(doc):
+    """Structural checks; returns the event list (may be empty)."""
+    events = doc["traceEvents"]
+    last_ts_per_ring = {}
+    for i, e in enumerate(events):
+        for k in REQUIRED_EVENT_KEYS:
+            if k not in e:
+                raise MalformedTrace(f"event {i}: missing key '{k}'")
+        if e["name"] not in KNOWN_TYPES:
+            raise MalformedTrace(f"event {i}: unknown type '{e['name']}'")
+        if e["ph"] != "i":
+            raise MalformedTrace(f"event {i}: expected instant ph, got "
+                                 f"'{e['ph']}'")
+        args = e["args"]
+        for k in REQUIRED_ARG_KEYS:
+            if k not in args:
+                raise MalformedTrace(f"event {i}: args missing '{k}'")
+        ts, tid = e["ts"], e["tid"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise MalformedTrace(f"event {i}: bad ts {ts!r}")
+        # capture() sorts globally by ts (stable within a ring), so the
+        # stream must be monotone overall, not just per ring.
+        prev = last_ts_per_ring.get("global")
+        if prev is not None and ts < prev:
+            raise MalformedTrace(
+                f"event {i}: ts {ts} precedes previous {prev} "
+                f"(drain ordering broken)")
+        last_ts_per_ring["global"] = ts
+        _ = tid
+    return events
+
+
+def explain(events, quiet):
+    """Replays events into per-object timelines; returns switch count."""
+    # object id -> list of narrative lines; current protocol per object.
+    timeline = defaultdict(list)
+    current = {}
+    cls_of = {}
+    switches = 0
+    for i, e in enumerate(events):
+        a = e["args"]
+        obj, frm, to = a["object"], a["from"], a["to"]
+        cls_of[obj] = e["cat"]
+        t = e["ts"]
+        name = e["name"]
+        if name == "switch":
+            if obj in current and current[obj] != frm:
+                raise MalformedTrace(
+                    f"event {i}: object {obj} switches from protocol "
+                    f"{frm} but its last known protocol is "
+                    f"{current[obj]} (audit chain broken)")
+            current[obj] = to
+            switches += 1
+            timeline[obj].append(
+                f"  t={t}: switch {frm}->{to} "
+                f"(signal protocol={a.get('signal_protocol', '?')} "
+                f"drift={a.get('drift', '?')} "
+                f"est={a.get('est_a', 0)}/{a.get('est_b', 0)} "
+                f"dur={a.get('duration', 0)} cycles)")
+        elif name == "probe_begin":
+            timeline[obj].append(
+                f"  t={t}: probe begin on protocol {frm} "
+                f"(#{a.get('probes', '?')})")
+        elif name == "probe_end":
+            outcome = {0: "rejected", 1: "adopted", 2: "unknown"}.get(
+                a.get("outcome"), "unknown")
+            timeline[obj].append(f"  t={t}: probe end -> {outcome}")
+        elif name == "episode":
+            timeline[obj].append(
+                f"  t={t}: episode on protocol {frm} "
+                f"cost={a.get('cost', '?')} "
+                f"arrivals={a.get('arrivals', '?')}")
+        elif name == "cohort_handoff":
+            timeline[obj].append(
+                f"  t={t}: cohort budget exhausted after "
+                f"{a.get('a0', '?')} passes, global handoff")
+        elif name == "cohort_abort":
+            timeline[obj].append(f"  t={t}: cohort queue invalidated")
+        # acq_sample / fast_acquire / cohort_grant are high-volume
+        # samples; they feed the stats, not the narrative.
+    if not quiet:
+        for obj in sorted(timeline):
+            print(f"{cls_of.get(obj, 'object')} #{obj}:")
+            for line in timeline[obj]:
+                print(line)
+    return switches
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace JSON from --trace")
+    ap.add_argument("--min-events", type=int, default=0,
+                    help="fail unless the trace has at least N events")
+    ap.add_argument("--min-switches", type=int, default=0,
+                    help="fail unless at least N protocol switches")
+    ap.add_argument("--quiet", action="store_true",
+                    help="validate only; no timeline dump")
+    args = ap.parse_args()
+
+    try:
+        doc = load(args.trace)
+        events = validate(doc)
+        switches = explain(events, args.quiet)
+    except MalformedTrace as e:
+        print(f"MALFORMED TRACE: {e}", file=sys.stderr)
+        return 2
+
+    metrics = doc.get("reactiveMetrics", {})
+    total = len(events)
+    dropped = doc.get("otherData", {}).get("dropped_total", "0")
+    print(f"{args.trace}: {total} events, {switches} switches, "
+          f"{dropped} dropped")
+    for cls, row in sorted(metrics.items()):
+        print(f"  {cls}: " + " ".join(f"{k}={v}" for k, v in row.items()))
+
+    if total < args.min_events:
+        print(f"FAIL: {total} events < required {args.min_events}",
+              file=sys.stderr)
+        return 1
+    if switches < args.min_switches:
+        print(f"FAIL: {switches} switches < required {args.min_switches}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
