@@ -44,6 +44,8 @@
 #include "sim/machine.hpp"
 #include "sim/sim_platform.hpp"
 #include "stats/table.hpp"
+#include "audit/audit.hpp"
+#include "audit/prometheus.hpp"
 #include "trace/export.hpp"
 
 namespace reactive::bench {
@@ -57,6 +59,7 @@ struct BenchArgs {
     bool native = false;     ///< include native pinned-thread sections
     std::uint64_t seed = 1;
     std::string trace;       ///< Chrome-trace output path ("" = no trace)
+    std::string metrics;     ///< Prometheus text output path ("" = none)
 
     static BenchArgs parse(int argc, char** argv)
     {
@@ -74,6 +77,10 @@ struct BenchArgs {
                 a.trace = argv[i] + 8;
             else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
                 a.trace = argv[++i];
+            else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
+                a.metrics = argv[i] + 10;
+            else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
+                a.metrics = argv[++i];
         }
         return a;
     }
@@ -81,53 +88,68 @@ struct BenchArgs {
 
 /**
  * Arms the tracing layer when the harness was invoked with
- * `--trace <file>`. A no-op (beyond a stderr note) when the binary was
+ * `--trace <file>` or `--metrics <file>` (the regret audit rides the
+ * trace gate). A no-op (beyond a stderr note) when the binary was
  * built without REACTIVE_TRACE — the run still completes and the drain
  * writes a valid empty trace, so CI scripts need no build-mode switch.
  */
 inline void start_trace(const BenchArgs& a)
 {
-    if (a.trace.empty())
+    if (a.trace.empty() && a.metrics.empty())
         return;
     if constexpr (!trace::kCompiled)
-        std::cerr << "note: --trace given but REACTIVE_TRACE is compiled "
-                     "out; the trace will be empty\n";
+        std::cerr << "note: --trace/--metrics given but REACTIVE_TRACE is "
+                     "compiled out; outputs will be empty\n";
     trace::set_enabled(true);
 }
 
 /**
- * Drains every trace ring to `<file>` (Chrome trace-event JSON) plus
- * `<file>.audit` (switch-audit text) and prints the metrics rollup.
- * Returns the number of failures (0 or 1) so mains can fold it into
- * their exit code.
+ * Drains every trace ring to `--trace <file>` (Chrome trace-event JSON
+ * plus `<file>.audit` switch-audit text) and writes the decision-audit
+ * snapshot to `--metrics <file>` (Prometheus text). Returns the number
+ * of failures (0 or 1) so mains can fold it into their exit code.
  */
 inline int finish_trace(const BenchArgs& a)
 {
-    if (a.trace.empty())
+    if (a.trace.empty() && a.metrics.empty())
         return 0;
     trace::set_enabled(false);
     const trace::Capture cap = trace::capture();
-    bool ok = false;
-    {
-        std::ofstream out(a.trace);
-        if (out)
-            trace::write_chrome_json(out, cap);
-        ok = static_cast<bool>(out);
+    bool ok = true;
+    if (!a.trace.empty()) {
+        {
+            std::ofstream out(a.trace);
+            if (out)
+                trace::write_chrome_json(out, cap);
+            ok = static_cast<bool>(out);
+        }
+        if (ok) {
+            std::ofstream audit(a.trace + ".audit");
+            if (audit)
+                trace::write_switch_audit(audit, cap);
+            ok = static_cast<bool>(audit);
+        }
+        if (!ok) {
+            std::cerr << "TRACE FAIL: could not write " << a.trace << "\n";
+            return 1;
+        }
+        cap.metrics.print(std::cout);
+        std::cout << "wrote trace " << a.trace << " (" << cap.events.size()
+                  << " events, " << cap.total_dropped << " dropped; + "
+                  << a.trace << ".audit)\n";
     }
-    if (ok) {
-        std::ofstream audit(a.trace + ".audit");
-        if (audit)
-            trace::write_switch_audit(audit, cap);
-        ok = static_cast<bool>(audit);
+    if (!a.metrics.empty()) {
+        std::ofstream prom(a.metrics);
+        if (prom)
+            audit::write_prometheus(prom, reactive::audit_snapshot(),
+                                    &cap.metrics);
+        if (!prom) {
+            std::cerr << "METRICS FAIL: could not write " << a.metrics
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote metrics " << a.metrics << "\n";
     }
-    if (!ok) {
-        std::cerr << "TRACE FAIL: could not write " << a.trace << "\n";
-        return 1;
-    }
-    cap.metrics.print(std::cout);
-    std::cout << "wrote trace " << a.trace << " (" << cap.events.size()
-              << " events, " << cap.total_dropped << " dropped; + "
-              << a.trace << ".audit)\n";
     return 0;
 }
 

@@ -81,6 +81,7 @@
 #include <cstdint>
 #include <tuple>
 
+#include "audit/audit.hpp"
 #include "barrier/barrier_concepts.hpp"
 #include "barrier/central_barrier.hpp"
 #include "barrier/combining_tree_barrier.hpp"
@@ -498,10 +499,31 @@ class ReactiveBarrier {
             }
         }
         if constexpr (trace::kCompiled) {
-            if (trace::enabled()) [[unlikely]]
+            if (trace::enabled()) [[unlikely]] {
                 probe.emit_edges(select_, trace::ObjectClass::kBarrier,
                                  trace_id_, static_cast<std::uint8_t>(m),
                                  static_cast<std::uint8_t>(next), P::now());
+                // Regret account: the episode's classified cost sample
+                // against the policy's cheapest measured rung. Reuses
+                // the consensus stamp and sample — no extra measurement,
+                // host memory only (see src/audit/audit.hpp).
+                if constexpr (kCalibrating) {
+                    if (sample > 0) {
+                        if (const auto best = audit::best_alternative(
+                                select_, kProtocols)) {
+                            const std::uint64_t regret = audit::record(
+                                trace::ObjectClass::kBarrier, trace_id_,
+                                sample, *best);
+                            trace::emit(trace::EventType::kRegret,
+                                        trace::ObjectClass::kBarrier,
+                                        trace_id_,
+                                        static_cast<std::uint8_t>(m),
+                                        static_cast<std::uint8_t>(next),
+                                        end, sample, *best, regret);
+                        }
+                    }
+                }
+            }
         }
     }
 

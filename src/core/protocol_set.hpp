@@ -182,6 +182,35 @@ class SelectAdapter {
         policy_.on_tts_fast_acquire();
     }
 
+    /// Monitoring passthroughs (trace/instrument.hpp estimator_pair
+    /// and ProbeWatch, audit::best_alternative): the adapter is
+    /// decision-transparent, so it must be observation-transparent
+    /// too — without these, a wrapped calibrated policy traced as if
+    /// it had no estimator (est=0 switch payloads, no regret samples).
+    decltype(auto) estimator() const
+        requires requires(const Policy& p) { p.estimator(); }
+    {
+        return policy_.estimator();
+    }
+
+    decltype(auto) probing() const
+        requires requires(const Policy& p) { p.probing(); }
+    {
+        return policy_.probing();
+    }
+
+    decltype(auto) probes_started() const
+        requires requires(const Policy& p) { p.probes_started(); }
+    {
+        return policy_.probes_started();
+    }
+
+    decltype(auto) adoptions() const
+        requires requires(const Policy& p) { p.adoptions(); }
+    {
+        return policy_.adoptions();
+    }
+
     Policy& underlying() { return policy_; }
     const Policy& underlying() const { return policy_; }
 

@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "audit/audit.hpp"
 #include "core/cost_model.hpp"
 #include "core/policy.hpp"
 #include "core/protocol_set.hpp"
@@ -321,6 +322,21 @@ class ReactiveLock {
                 probe.emit_edges(select_, trace::ObjectClass::kLock,
                                  trace_id_, kTtsIndex,
                                  static_cast<std::uint8_t>(next), ts);
+                if constexpr (kCalibrating) {
+                    if (cycles > 0) {
+                        if (const auto best = audit::best_alternative(
+                                select_, kProtocols)) {
+                            const std::uint64_t regret = audit::record(
+                                trace::ObjectClass::kLock, trace_id_,
+                                cycles, *best);
+                            trace::emit(trace::EventType::kRegret,
+                                        trace::ObjectClass::kLock,
+                                        trace_id_, kTtsIndex,
+                                        static_cast<std::uint8_t>(next),
+                                        ts, cycles, *best, regret);
+                        }
+                    }
+                }
             }
         }
         return next != kTtsIndex ? ReleaseMode::kTtsToQueue
@@ -381,6 +397,21 @@ class ReactiveLock {
                 probe.emit_edges(select_, trace::ObjectClass::kLock,
                                  trace_id_, kQueueIndex,
                                  static_cast<std::uint8_t>(next), ts);
+                if constexpr (kCalibrating) {
+                    if (cycles > 0) {
+                        if (const auto best = audit::best_alternative(
+                                select_, kProtocols)) {
+                            const std::uint64_t regret = audit::record(
+                                trace::ObjectClass::kLock, trace_id_,
+                                cycles, *best);
+                            trace::emit(trace::EventType::kRegret,
+                                        trace::ObjectClass::kLock,
+                                        trace_id_, kQueueIndex,
+                                        static_cast<std::uint8_t>(next),
+                                        ts, cycles, *best, regret);
+                        }
+                    }
+                }
             }
         }
         return next != kQueueIndex ? ReleaseMode::kQueueToTts

@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "audit/audit.hpp"
 #include "core/cost_model.hpp"
 #include "core/policy.hpp"
 #include "core/protocol_set.hpp"
@@ -404,6 +405,24 @@ class ReactiveRwLock {
                                          trace_id_, kSimpleIndex,
                                          static_cast<std::uint8_t>(next),
                                          ts);
+                        if constexpr (kCalibrating) {
+                            if (cycles > 0) {
+                                if (const auto best =
+                                        audit::best_alternative(
+                                            select_, kProtocols)) {
+                                    const std::uint64_t regret =
+                                        audit::record(
+                                            trace::ObjectClass::kRwLock,
+                                            trace_id_, cycles, *best);
+                                    trace::emit(
+                                        trace::EventType::kRegret,
+                                        trace::ObjectClass::kRwLock,
+                                        trace_id_, kSimpleIndex,
+                                        static_cast<std::uint8_t>(next),
+                                        ts, cycles, *best, regret);
+                                }
+                            }
+                        }
                     }
                 }
                 return next != kSimpleIndex ? ReleaseMode::kSimpleToQueue
@@ -456,6 +475,21 @@ class ReactiveRwLock {
                 probe.emit_edges(select_, trace::ObjectClass::kRwLock,
                                  trace_id_, kQueueIndex,
                                  static_cast<std::uint8_t>(next), ts);
+                if constexpr (kCalibrating) {
+                    if (cycles > 0) {
+                        if (const auto best = audit::best_alternative(
+                                select_, kProtocols)) {
+                            const std::uint64_t regret = audit::record(
+                                trace::ObjectClass::kRwLock, trace_id_,
+                                cycles, *best);
+                            trace::emit(trace::EventType::kRegret,
+                                        trace::ObjectClass::kRwLock,
+                                        trace_id_, kQueueIndex,
+                                        static_cast<std::uint8_t>(next),
+                                        ts, cycles, *best, regret);
+                        }
+                    }
+                }
             }
         }
         return next != kQueueIndex ? ReleaseMode::kQueueToSimple

@@ -170,6 +170,21 @@ std::uint64_t now();
 /// Per-thread deterministic uniform draw in [0, bound).
 std::uint32_t random_below(std::uint32_t bound);
 
+/**
+ * Derives a well-distributed child seed from an experiment seed and a
+ * stream index (splitmix64 over both words). The replay harnesses
+ * (src/audit/oracle.hpp) use this so a re-run of episode e under a
+ * different protocol sees exactly the episode-e randomness of the
+ * original stream — the determinism contract behind the oracle.
+ */
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t state = base + 0x9e3779b97f4a7c15ull * (stream + 1);
+    std::uint64_t s = splitmix64(state);
+    // One more round decorrelates adjacent streams of adjacent bases.
+    return splitmix64(state) ^ (s << 1);
+}
+
 class SimThread;
 class Machine;
 

@@ -90,6 +90,41 @@ class Log2Histogram {
         return i == 0 ? 0.0 : std::exp2(static_cast<double>(i - 1));
     }
 
+    /**
+     * Percentile estimate (q in [0,1]) by linear interpolation inside
+     * the bucket that contains the target rank. The log2 buckets bound
+     * the error to the bucket width (a factor of two at worst), which
+     * is the same resolution the thesis' semi-log plots read at — good
+     * enough for p50/p90/p99 summaries without keeping raw samples.
+     */
+    double percentile(double q) const
+    {
+        const std::uint64_t n = stats_.count();
+        if (n == 0)
+            return 0.0;
+        if (q < 0.0)
+            q = 0.0;
+        if (q > 1.0)
+            q = 1.0;
+        // 1-based target rank; q=1 maps to the last sample.
+        const double target = q * static_cast<double>(n - 1) + 1.0;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i] == 0)
+                continue;
+            const std::uint64_t before = seen;
+            seen += counts_[i];
+            if (static_cast<double>(seen) < target)
+                continue;
+            const double low = bucket_low(i);
+            const double high = i == 0 ? 1.0 : low * 2.0;
+            const double frac = (target - static_cast<double>(before)) /
+                                static_cast<double>(counts_[i]);
+            return low + frac * (high - low);
+        }
+        return bucket_low(counts_.size() - 1);
+    }
+
   private:
     std::vector<std::uint64_t> counts_;
     OnlineStats stats_;

@@ -22,6 +22,9 @@
  *   kAcqSample  a0 = acquisition latency, a1 = packed signal as above
  *   kEpisode    a0 = episode cost sample, a1 = arrivals m
  *   kCohort*    a0 = cohort passes at the edge
+ *   kRegret     a0 = realized cost, a1 = estimator's best-alternative
+ *               cost, a2 = regret (max(0, a0 - a1)); from = protocol
+ *               that paid, to = policy's next protocol
  */
 #pragma once
 
@@ -107,6 +110,10 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
         case EventType::kProbeEnd:
             os << ", \"outcome\": " << e.a0 << ", \"probes\": " << e.a1;
             break;
+        case EventType::kRegret:
+            os << ", \"realized\": " << e.a0 << ", \"best\": " << e.a1
+               << ", \"regret\": " << e.a2;
+            break;
         default:
             os << ", \"a0\": " << e.a0;
             break;
@@ -116,7 +123,17 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
     os << "\n],\n";
     os << "\"otherData\": {\"time_unit\": \"cycles\", \"dropped_total\": \""
        << cap.total_dropped << "\", \"event_count\": \""
-       << cap.events.size() << "\"},\n";
+       << cap.events.size() << "\", \"dropped_by_class\": {";
+    bool firstd = true;
+    for (std::size_t c = 1; c < kClassCount; ++c) {
+        const auto cls = static_cast<ObjectClass>(c);
+        if (!firstd)
+            os << ", ";
+        firstd = false;
+        os << "\"" << class_name(cls) << "\": \""
+           << cap.metrics.row(cls).dropped << "\"";
+    }
+    os << "}},\n";
     os << "\"reactiveMetrics\": {";
     bool firstc = true;
     for (std::size_t c = 1; c < kClassCount; ++c) {
@@ -134,6 +151,10 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
            << ", \"episodes\": " << r.counters[6]
            << ", \"handoffs\": " << r.counters[7]
            << ", \"aborts\": " << r.counters[8]
+           << ", \"regret_samples\": " << r.counters[9]
+           << ", \"regret_cycles\": " << r.regret_cycles
+           << ", \"regret_realized\": " << r.regret_realized
+           << ", \"regret_best\": " << r.regret_best
            << ", \"dropped\": " << r.dropped << "}";
     }
     os << "},\n\"displayTimeUnit\": \"ms\"\n}\n";
@@ -141,6 +162,9 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
 
 /// Compact switch-audit dump: one line per protocol change, in time
 /// order — the replayable decision record the audit tests diff.
+/// Footer lines are `#`-prefixed comments (percentile summaries per
+/// class, and a drop summary whenever any ring lost events) so line
+/// diffs against policy ground truth can filter on the `t=` prefix.
 inline void write_switch_audit(std::ostream& os, const Capture& cap)
 {
     for (const CapturedEvent& ce : cap.events) {
@@ -154,6 +178,31 @@ inline void write_switch_audit(std::ostream& os, const Capture& cap)
            << " drift=" << (static_cast<int>(e.a0 & 0xff) - 1)
            << " est=" << (e.a1 >> 32) << "/" << (e.a1 & 0xffffffffu)
            << " dur=" << e.a2 << "\n";
+    }
+    for (std::size_t c = 1; c < kClassCount; ++c) {
+        const auto cls = static_cast<ObjectClass>(c);
+        const auto& r = cap.metrics.row(cls);
+        if (r.latency.stats().count() > 0)
+            os << "# " << class_name(cls)
+               << " latency p50=" << r.latency.percentile(0.50)
+               << " p90=" << r.latency.percentile(0.90)
+               << " p99=" << r.latency.percentile(0.99) << " (cycles, "
+               << r.latency.stats().count() << " delivered samples)\n";
+        if (r.counters[9] > 0)
+            os << "# " << class_name(cls) << " regret samples="
+               << r.counters[9] << " cycles=" << r.regret_cycles
+               << " realized=" << r.regret_realized
+               << " best=" << r.regret_best << "\n";
+    }
+    if (cap.total_dropped > 0) {
+        os << "# dropped " << cap.total_dropped << " events:";
+        for (std::size_t c = 1; c < kClassCount; ++c) {
+            const auto cls = static_cast<ObjectClass>(c);
+            if (cap.metrics.row(cls).dropped > 0)
+                os << " " << class_name(cls) << "="
+                   << cap.metrics.row(cls).dropped;
+        }
+        os << " (timeline is incomplete)\n";
     }
 }
 

@@ -62,6 +62,8 @@ inline const char* type_name(EventType t)
         return "cohort_handoff";
     case EventType::kCohortAbort:
         return "cohort_abort";
+    case EventType::kRegret:
+        return "regret";
     default:
         return "none";
     }
@@ -77,6 +79,11 @@ class MetricsRegistry {
         /// Acquisition latencies (locks/rw) or episode cost samples
         /// (barriers), log2-bucketed as in the thesis' semi-log plots.
         stats::Log2Histogram latency{32};
+        /// Counterfactual-regret rollup over *delivered* kRegret events
+        /// (the exact drop-immune totals live in audit::snapshot()).
+        std::uint64_t regret_cycles = 0;
+        std::uint64_t regret_realized = 0;
+        std::uint64_t regret_best = 0;
     };
 
     ClassRow& row(ObjectClass c)
@@ -113,6 +120,13 @@ class MetricsRegistry {
         case EventType::kEpisode:
             row(e.cls).latency.add(static_cast<double>(e.a0));
             break;
+        case EventType::kRegret: {
+            ClassRow& r = row(e.cls);
+            r.regret_realized += e.a0;
+            r.regret_best += e.a1;
+            r.regret_cycles += e.a2;
+            break;
+        }
         default:
             break;
         }
@@ -135,7 +149,15 @@ class MetricsRegistry {
                << r.counters[4] << "/-" << r.counters[5] << " (started "
                << r.counters[3] << ") episodes=" << r.counters[6]
                << " handoffs=" << r.counters[7] << " aborts="
-               << r.counters[8] << " dropped=" << r.dropped << "\n";
+               << r.counters[8] << " regret_samples=" << r.counters[9]
+               << " regret_cycles=" << r.regret_cycles
+               << " dropped=" << r.dropped << "\n";
+            if (r.latency.stats().count() > 0)
+                os << "    latency p50=" << r.latency.percentile(0.50)
+                   << " p90=" << r.latency.percentile(0.90)
+                   << " p99=" << r.latency.percentile(0.99)
+                   << " (cycles, " << r.latency.stats().count()
+                   << " delivered samples)\n";
         }
     }
 

@@ -70,6 +70,7 @@ enum class EventType : std::uint8_t {
     kCohortGrant = 7,    ///< cohort pass: lock stayed on the socket
     kCohortHandoff = 8,  ///< budget exhausted: global handoff
     kCohortAbort = 9,    ///< protocol retired: waiters woken INVALID
+    kRegret = 10,        ///< counterfactual regret sample (src/audit/)
 };
 
 /// Object class of the emitting primitive (drop accounting is per class).
@@ -105,8 +106,9 @@ enum class Metric : std::uint8_t {
     kEpisodes = 6,
     kHandoffs = 7,
     kAborts = 8,
+    kRegretSamples = 9,
 };
-inline constexpr std::size_t kMetricCount = 9;
+inline constexpr std::size_t kMetricCount = 10;
 
 /**
  * Lock-free drop-oldest SPSC ring of trace events.
@@ -312,6 +314,9 @@ class TraceRing {
             break;
         case EventType::kCohortAbort:
             bump(e.cls, Metric::kAborts);
+            break;
+        case EventType::kRegret:
+            bump(e.cls, Metric::kRegretSamples);
             break;
         default:
             break;

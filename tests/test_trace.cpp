@@ -410,7 +410,10 @@ TEST(TraceExportTest, ChromeJsonAndAuditRoundTrip)
                                        /*seed=*/1, lock);
     trace::set_enabled(false);
 
-    const std::string json_path = "test_trace_out.json";
+    // Write under the gtest temp dir, not the CWD, so test runs never
+    // litter the repo root.
+    const std::string json_path =
+        ::testing::TempDir() + "test_trace_out.json";
     ASSERT_TRUE(trace::drain_to_json(json_path, json_path + ".audit"));
 
     std::ifstream json(json_path);
@@ -420,24 +423,35 @@ TEST(TraceExportTest, ChromeJsonAndAuditRoundTrip)
     EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(text.find("\"reactiveMetrics\""), std::string::npos);
     EXPECT_NE(text.find("\"switch\""), std::string::npos);
+    EXPECT_NE(text.find("\"dropped_by_class\""), std::string::npos);
+    EXPECT_NE(text.find("\"regret_samples\""), std::string::npos);
 
     std::ifstream audit(json_path + ".audit");
     ASSERT_TRUE(audit.good());
     std::string line;
-    std::uint64_t lines = 0;
+    std::uint64_t switch_lines = 0;
+    std::uint64_t comment_lines = 0;
     while (std::getline(audit, line)) {
+        if (line.rfind("#", 0) == 0) {
+            ++comment_lines;  // percentile / regret / drop footers
+            continue;
+        }
         EXPECT_EQ(line.rfind("t=", 0), 0u) << "audit line format";
         EXPECT_NE(line.find("lock"), std::string::npos);
-        ++lines;
+        ++switch_lines;
     }
-    EXPECT_EQ(lines, lock->inner().protocol_changes());
+    EXPECT_EQ(switch_lines, lock->inner().protocol_changes());
+    // The run sampled acquisitions, so the footer must carry at least
+    // the lock latency percentile summary.
+    EXPECT_GE(comment_lines, 1u);
     trace::reset();
 }
 
 TEST(TraceExportTest, EmptyCaptureStillWritesValidSkeleton)
 {
     trace::reset();
-    const std::string json_path = "test_trace_empty.json";
+    const std::string json_path =
+        ::testing::TempDir() + "test_trace_empty.json";
     ASSERT_TRUE(trace::drain_to_json(json_path));
     std::ifstream json(json_path);
     std::string text((std::istreambuf_iterator<char>(json)),

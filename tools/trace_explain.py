@@ -8,15 +8,27 @@ every switch with its triggering signal / drift / estimator snapshot,
 probe episodes and their outcomes, and the per-class metric rollup the
 binary embedded under "reactiveMetrics".
 
+`--regret` switches to the decision-audit view: switch, probe and
+regret events are merged into per-object *decision intervals* (the
+span an object spends on one protocol), each annotated with the
+counterfactual regret paid while that decision was in force — "who
+paid what for which decision" — and the top mis-protocol intervals
+are flagged. CI round-trips the traced fig_regret smoke run through
+this mode.
+
 Exits nonzero on a malformed trace — unparseable JSON, missing keys,
 unknown event types, timestamps out of order in the drained stream, or
 a broken switch chain (an object switching *from* a protocol it was
 never *on*). CI runs this over the traced fig_calibration smoke run
 as the round-trip validation of the whole tracing pipeline.
 
+If the binary dropped events (ring overflow), a warning is printed
+with the per-class breakdown — the timeline is incomplete, the metric
+rollup is not. `--strict` turns that warning into a nonzero exit.
+
 Usage:
   tools/trace_explain.py TRACE.json [--min-events N] [--min-switches N]
-                         [--quiet]
+                         [--regret] [--top N] [--strict] [--quiet]
 """
 
 import argparse
@@ -34,6 +46,7 @@ KNOWN_TYPES = {
     "cohort_grant",
     "cohort_handoff",
     "cohort_abort",
+    "regret",
 }
 
 REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "tid", "args")
@@ -135,14 +148,126 @@ def explain(events, quiet):
                 f"{a.get('a0', '?')} passes, global handoff")
         elif name == "cohort_abort":
             timeline[obj].append(f"  t={t}: cohort queue invalidated")
-        # acq_sample / fast_acquire / cohort_grant are high-volume
-        # samples; they feed the stats, not the narrative.
+        # acq_sample / fast_acquire / cohort_grant / regret are
+        # high-volume samples; they feed the stats (and the --regret
+        # view), not the narrative.
     if not quiet:
         for obj in sorted(timeline):
             print(f"{cls_of.get(obj, 'object')} #{obj}:")
             for line in timeline[obj]:
                 print(line)
     return switches
+
+
+def regret_report(events, quiet, top):
+    """Decision-interval attribution: who paid what for which decision.
+
+    A *decision interval* is the span an object spends on one protocol
+    — opened by a switch (or by the first event seen for the object),
+    closed by the next switch.  Every regret sample emitted inside the
+    interval is charged to the decision that opened it, so each
+    interval reads as "the policy kept object O on protocol P from t0
+    to t1, and that choice cost R cycles over the estimator's best
+    alternative".  The highest-regret intervals are the mis-protocol
+    spans worth investigating first.
+
+    Returns (total regret samples, total regret cycles).
+    """
+    closed = []            # finished interval dicts, all objects
+    open_iv = {}           # object id -> interval in progress
+    cls_of = {}
+
+    def fresh(obj, proto, start):
+        return {"object": obj, "proto": proto, "start": start,
+                "end": start, "samples": 0, "realized": 0, "best": 0,
+                "regret": 0, "probes": 0, "opened_by_switch": False}
+
+    for e in events:
+        a = e["args"]
+        obj, t, name = a["object"], e["ts"], e["name"]
+        cls_of[obj] = e["cat"]
+        if name == "switch":
+            if obj in open_iv:
+                open_iv[obj]["end"] = t
+                closed.append(open_iv.pop(obj))
+            iv = fresh(obj, a["to"], t)
+            iv["opened_by_switch"] = True
+            open_iv[obj] = iv
+        elif name == "regret":
+            # from = the protocol that paid (the decision in force).
+            iv = open_iv.setdefault(obj, fresh(obj, a["from"], t))
+            iv["end"] = max(iv["end"], t)
+            iv["samples"] += 1
+            iv["realized"] += a.get("realized", 0)
+            iv["best"] += a.get("best", 0)
+            iv["regret"] += a.get("regret", 0)
+        elif name == "probe_begin":
+            iv = open_iv.setdefault(obj, fresh(obj, a["from"], t))
+            iv["end"] = max(iv["end"], t)
+            iv["probes"] += 1
+        elif name in ("probe_end", "episode"):
+            if obj in open_iv:
+                open_iv[obj]["end"] = max(open_iv[obj]["end"], t)
+    closed.extend(open_iv.values())
+
+    total_samples = sum(iv["samples"] for iv in closed)
+    total_regret = sum(iv["regret"] for iv in closed)
+
+    if not quiet:
+        print("regret timeline (who paid what for which decision):")
+        by_obj = defaultdict(list)
+        for iv in closed:
+            by_obj[iv["object"]].append(iv)
+        for obj in sorted(by_obj):
+            print(f"{cls_of.get(obj, 'object')} #{obj}:")
+            for iv in sorted(by_obj[obj], key=lambda v: v["start"]):
+                how = ("switched to" if iv["opened_by_switch"]
+                       else "started on")
+                line = (f"  [t={iv['start']}..{iv['end']}] {how} "
+                        f"protocol {iv['proto']}: ")
+                if iv["samples"] > 0:
+                    line += (f"{iv['samples']} samples, paid "
+                             f"{iv['regret']} cycles over best-alt "
+                             f"(realized {iv['realized']}, "
+                             f"best {iv['best']})")
+                else:
+                    line += "no regret samples"
+                if iv["probes"] > 0:
+                    line += f", {iv['probes']} probe(s)"
+                print(line)
+        worst = sorted((iv for iv in closed if iv["regret"] > 0),
+                       key=lambda v: v["regret"], reverse=True)[:top]
+        if worst:
+            print(f"top {len(worst)} mis-protocol interval(s):")
+            for rank, iv in enumerate(worst, 1):
+                print(f"  {rank}. {cls_of.get(iv['object'], 'object')} "
+                      f"#{iv['object']} on protocol {iv['proto']} "
+                      f"[t={iv['start']}..{iv['end']}]: "
+                      f"{iv['regret']} cycles regret "
+                      f"({iv['samples']} samples)")
+        else:
+            print("no interval accumulated regret (every realized cost "
+                  "was at or under the estimator's best alternative)")
+    return total_samples, total_regret
+
+
+def drop_warning(doc):
+    """Prints the incomplete-timeline warning; returns dropped count."""
+    other = doc.get("otherData", {})
+    # Exporter writes counters as quoted strings (JSON-safe uint64).
+    try:
+        dropped = int(other.get("dropped_total", "0"))
+    except (TypeError, ValueError):
+        dropped = 0
+    if dropped > 0:
+        by_class = other.get("dropped_by_class", {})
+        detail = " ".join(f"{c}={n}" for c, n in sorted(by_class.items())
+                          if str(n) not in ("0", ""))
+        print(f"WARNING: {dropped} events dropped at the rings "
+              f"({detail or 'no per-class breakdown'}) — the timeline "
+              f"is incomplete; metric rollups are not affected",
+              file=sys.stderr)
+    return dropped
 
 
 def main():
@@ -152,6 +277,14 @@ def main():
                     help="fail unless the trace has at least N events")
     ap.add_argument("--min-switches", type=int, default=0,
                     help="fail unless at least N protocol switches")
+    ap.add_argument("--regret", action="store_true",
+                    help="decision-audit view: regret per decision "
+                         "interval, top mis-protocol spans flagged")
+    ap.add_argument("--top", type=int, default=5,
+                    help="mis-protocol intervals to flag in --regret "
+                         "mode (default 5)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero if the binary dropped events")
     ap.add_argument("--quiet", action="store_true",
                     help="validate only; no timeline dump")
     args = ap.parse_args()
@@ -159,16 +292,23 @@ def main():
     try:
         doc = load(args.trace)
         events = validate(doc)
-        switches = explain(events, args.quiet)
+        switches = explain(events, args.quiet or args.regret)
+        regret_samples = regret_cycles = 0
+        if args.regret:
+            regret_samples, regret_cycles = regret_report(
+                events, args.quiet, args.top)
     except MalformedTrace as e:
         print(f"MALFORMED TRACE: {e}", file=sys.stderr)
         return 2
 
     metrics = doc.get("reactiveMetrics", {})
     total = len(events)
-    dropped = doc.get("otherData", {}).get("dropped_total", "0")
+    dropped = drop_warning(doc)
     print(f"{args.trace}: {total} events, {switches} switches, "
           f"{dropped} dropped")
+    if args.regret:
+        print(f"  regret: {regret_samples} samples, "
+              f"{regret_cycles} cycles paid over best-alternative")
     for cls, row in sorted(metrics.items()):
         print(f"  {cls}: " + " ".join(f"{k}={v}" for k, v in row.items()))
 
@@ -178,6 +318,10 @@ def main():
         return 1
     if switches < args.min_switches:
         print(f"FAIL: {switches} switches < required {args.min_switches}",
+              file=sys.stderr)
+        return 1
+    if args.strict and dropped > 0:
+        print(f"FAIL: --strict and {dropped} events dropped",
               file=sys.stderr)
         return 1
     return 0
