@@ -51,6 +51,21 @@ struct ContendedOptions {
     /// are actually scheduler-placed instead of silently reporting
     /// them as pinned.
     std::atomic<std::uint32_t>* pin_failures = nullptr;
+
+    /// Pool sized to `factor` workers per online CPU, pinned modulo the
+    /// CPU count (pin_current_thread wraps the index), so each CPU
+    /// timeshares `factor` workers — the native oversubscription regime
+    /// of the reactive-waiting figures and the TSan park/wake storms.
+    /// factor = 1 degrades to a fully subscribed pinned pool.
+    static ContendedOptions oversubscribed(std::uint32_t factor,
+                                           std::uint64_t iters_per_thread)
+    {
+        ContendedOptions o;
+        const unsigned hw = std::thread::hardware_concurrency();
+        o.threads = (hw != 0 ? hw : 1) * (factor != 0 ? factor : 1);
+        o.iters_per_thread = iters_per_thread;
+        return o;
+    }
 };
 
 /**

@@ -298,6 +298,58 @@ std::uint64_t run_lock_cycle(std::uint32_t procs, std::uint32_t iters,
     return m.elapsed();
 }
 
+/**
+ * Oversubscribed lock-crossover kernel: `factor` threads per processor
+ * run the run_lock_cycle loop on a machine whose processors hold
+ * `costs.hardware_contexts` resident contexts each. With factor > 1 a
+ * spinning waiter occupies a context the holder may need — the regime
+ * where two-phase and immediate-park waiting pay off (Chapter 4's
+ * multiprogramming axis, here as a second axis under the reactive
+ * waiting subsystem). Pass a cost model with a nonzero
+ * `preempt_quantum`: without preemption a single-context processor
+ * whose resident thread spins forever would livelock the descheduled
+ * holder (always-spin at 1 context is exactly the pathology the figure
+ * demonstrates, and the quantum is what lets it *finish*, slowly,
+ * instead of hanging the run).
+ *
+ * @param stats_out also carries `preemptions` and park/wake counts.
+ * @return simulated elapsed cycles.
+ */
+template <typename L>
+std::uint64_t run_lock_cycle_oversubscribed(
+    std::uint32_t procs, std::uint32_t factor, std::uint32_t iters,
+    std::uint32_t cs, std::uint32_t think, std::uint64_t seed = 1,
+    std::shared_ptr<L> lock = nullptr,
+    sim::CostModel costs = sim::CostModel::alewife(),
+    sim::MachineStats* stats_out = nullptr)
+{
+    assert(factor >= 1);
+    sim::Machine m(procs, costs, seed);
+    std::shared_ptr<L> l = std::move(lock);
+    if constexpr (std::is_default_constructible_v<L>) {
+        if (!l)
+            l = std::make_shared<L>();
+    }
+    assert(l != nullptr && "lock type without default ctor must be passed in");
+    const std::uint32_t threads = procs * factor;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        m.spawn(t % procs, [=] {
+            typename L::Node node;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+                l->lock(node);
+                sim::delay(cs);
+                l->unlock(node);
+                if (think > 0)
+                    sim::delay(sim::random_below(think));
+            }
+        });
+    }
+    m.run();
+    if (stats_out != nullptr)
+        *stats_out = m.stats();
+    return m.elapsed();
+}
+
 // ---- reader-writer workloads (src/rw/) --------------------------------
 
 /**

@@ -130,6 +130,20 @@ class CentralBarrier {
             P::pause();
     }
 
+    /// Site-dispatched twin of wait_episode (the reactive barrier's
+    /// waiting axis): the wait runs through @p site's hint-dispatched
+    /// await, so it may spin, spin-then-park, or park. The predicate is
+    /// pure — the completer flips the shared sense in release_episode
+    /// and the composing barrier broadcasts on the site afterwards.
+    template <typename Site, typename Result>
+    void wait_episode(Node& n, Site& site, Result& wr)
+    {
+        wr = site.await([&] {
+            return sense_->load(std::memory_order_acquire) ==
+                   n.episode_sense;
+        });
+    }
+
     /// Completes the episode: resets the counter for the next episode
     /// and flips the shared sense, releasing all waiters. Only the last
     /// arriver may call this, after any in-consensus work.

@@ -80,6 +80,7 @@
 #include <atomic>
 #include <cstdint>
 #include <tuple>
+#include <type_traits>
 
 #include "audit/audit.hpp"
 #include "barrier/barrier_concepts.hpp"
@@ -92,6 +93,7 @@
 #include "platform/platform_concept.hpp"
 #include "platform/thread_slots.hpp"
 #include "trace/instrument.hpp"
+#include "waiting/reactive/wait_site.hpp"
 
 namespace reactive {
 
@@ -172,16 +174,33 @@ using CentralTreeBarrierSet =
  * Reactive barrier selecting among the slots of a barrier ProtocolSet
  * between episodes.
  *
- * @tparam P      Platform model.
- * @tparam Policy switching policy: any N-ary `SelectPolicy`, or — for
- *                two-protocol sets — any binary `SwitchPolicy`
- *                (embedded via SelectAdapter; shared with the reactive
- *                mutex/rwlock).
- * @tparam Set    `ProtocolSet` of BarrierProtocolSlot members, ordered
- *                by scalability (index 0 = low-contention protocol).
+ * The waiting axis (waiting/reactive/): with Waiting = ParkWaiting,
+ * slots exposing a site-dispatched wait_episode (the central barrier)
+ * wait through one barrier-level WaitSite on the completer-published
+ * hint; tree- and round-shaped slots keep their local spins (their
+ * per-level waits are short by construction, and parking mid-combine
+ * would serialize the fan-in). The completer is the consensus point:
+ * it alone feeds the WaitSelectPolicy (episode period as the hold
+ * analogue, plus its own stashed wake latency from the last episode it
+ * parked in) and broadcasts on the site after the release.
+ *
+ * @tparam P          Platform model.
+ * @tparam Policy     switching policy: any N-ary `SelectPolicy`, or —
+ *                    for two-protocol sets — any binary `SwitchPolicy`
+ *                    (embedded via SelectAdapter; shared with the
+ *                    reactive mutex/rwlock).
+ * @tparam Set        `ProtocolSet` of BarrierProtocolSlot members,
+ *                    ordered by scalability (index 0 = low-contention
+ *                    protocol).
+ * @tparam Waiting    SpinWaiting (default; byte-identical to the
+ *                    pre-subsystem barrier) or ParkWaiting.
+ * @tparam WaitPolicy WaitSelectPolicy choosing the waiting mode
+ *                    (ParkWaiting instantiations only).
  */
 template <Platform P, typename Policy = AlwaysSwitchPolicy,
-          typename Set = CentralTreeBarrierSet<P>>
+          typename Set = CentralTreeBarrierSet<P>,
+          typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveBarrier {
   public:
     /// The select-interface view of the policy parameter.
@@ -205,10 +224,26 @@ class ReactiveBarrier {
         kDissemination = 2,
     };
 
+    /// The barrier-level waiting site for this Waiting tag.
+    using Site = WaitSite<P, Waiting>;
+    /// Whether episode waits may park (ParkWaiting instantiations).
+    static constexpr bool kParking = Site::kParking;
+
+    static_assert(WaitSelectPolicy<WaitPolicy>);
+
+    /// Empty stand-in keeping spin-instantiation Nodes identical to the
+    /// pre-subsystem layout.
+    struct NoWaitStash {};
+
     /// Per-participant state (one sub-node per slot); reuse the same
     /// Node across episodes.
     struct Node {
         typename Set::Nodes nodes;
+        /// Last parked wait's cost, stashed until this participant is
+        /// next in consensus (it feeds the wake-latency estimator only
+        /// as a completer). Empty in spin instantiations.
+        [[no_unique_address]]
+        std::conditional_t<kParking, AwaitResult, NoWaitStash> last_wait{};
     };
 
     explicit ReactiveBarrier(std::uint32_t participants)
@@ -252,12 +287,31 @@ class ReactiveBarrier {
             auto& pn = std::get<index.value>(n.nodes);
             const BarrierEpisode ep = proto.arrive_only(pn);
             if (!ep.last) {
+                // Slots exposing a site-dispatched wait (the central
+                // barrier) park under the hint; tree/round slots keep
+                // their local spins.
+                if constexpr (kParking) {
+                    if constexpr (requires(AwaitResult& w) {
+                                      proto.wait_episode(pn, wsite_, w);
+                                  }) {
+                        AwaitResult wr{};
+                        proto.wait_episode(pn, wsite_, wr);
+                        note_waited(n, wr);
+                        return;
+                    }
+                }
                 proto.wait_episode(pn);
                 return;
             }
+            // In consensus: select the next waiting mode first, so the
+            // waiters this release is about to free dispatch under it.
+            update_wait_policy(n);
             episode_consensus(static_cast<std::uint32_t>(index.value), ep,
                               &n);
             proto.release_episode(pn);
+            // Parking wake rule: the sense flip (and any mode store)
+            // above is followed, in the same thread, by the broadcast.
+            wake_waiters();
         });
     }
 
@@ -317,6 +371,16 @@ class ReactiveBarrier {
     /// thresholds (in-consensus callers and tests).
     std::uint64_t rmw_floor() const { return rmw_floor_; }
 
+    /// Wait-policy state access (in-consensus callers only).
+    WaitPolicy& wait_policy()
+        requires kParking
+    {
+        return wstate_.policy;
+    }
+
+    /// The packed wait hint currently published to waiters (tests).
+    std::uint32_t wait_hint() const { return wsite_.hint(); }
+
   private:
     /// Calibrating policies additionally receive each episode's spread
     /// as a cost sample (see episode_consensus).
@@ -330,6 +394,106 @@ class ReactiveBarrier {
     static constexpr bool kSocketAware = SocketAwareSelect<Select>;
 
     bool note_completer_socket() { return completer_socket_.note_handoff(); }
+
+    // ---- waiting-mode selection (ParkWaiting instantiations only) ----
+
+    /// Park-axis completer state; empty stand-in as for Node.
+    struct ParkWaitState {
+        WaitPolicy policy{};
+        std::uint64_t last_end = 0;  ///< previous episode's consensus stamp
+    };
+    struct NoWaitState {};
+    using WaitState = std::conditional_t<kParking, ParkWaitState, NoWaitState>;
+
+    /// A parked participant stashes its wait cost (fed to the policy
+    /// only once it is next in consensus) and traces the park. Not a
+    /// consensus point: no policy state is touched here.
+    void note_waited(Node& n, const AwaitResult& wr)
+    {
+        if constexpr (kParking) {
+            if (!wr.blocked)
+                return;
+            n.last_wait = wr;
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]] {
+                    const auto m = static_cast<std::uint8_t>(
+                        unpack_wait_hint(wsite_.hint()).mode);
+                    trace::emit(trace::EventType::kPark,
+                                trace::ObjectClass::kBarrier, trace_id_, m,
+                                m, P::now(), wr.wait_cycles,
+                                wr.wake_latency);
+                }
+            }
+        }
+    }
+
+    /// Broadcast on the barrier-level site (no-op in spin builds).
+    void wake_waiters()
+    {
+        if constexpr (kParking) {
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]] {
+                    const std::uint32_t w = wsite_.waiters();
+                    if (w > 0)
+                        trace::emit(trace::EventType::kWake,
+                                    trace::ObjectClass::kBarrier, trace_id_,
+                                    0, 0, P::now(), w);
+                }
+            }
+            wsite_.wake_all();
+        }
+    }
+
+    /// The completer (in consensus): fold the episode period into the
+    /// wait policy as the hold analogue — an arrival's mean residual
+    /// wait is about half a period, so the depth multiplier is
+    /// deliberately withheld (queue_depth = 0 makes the policy's
+    /// expected wait period/2) — feed its own stashed wake latency, and
+    /// publish the new hint before the release frees the waiters.
+    void update_wait_policy(Node& n)
+    {
+        if constexpr (kParking) {
+            WaitSignal ws;
+            const std::uint64_t now = P::now();
+            ws.hold_cycles = wstate_.last_end != 0 && now > wstate_.last_end
+                                 ? now - wstate_.last_end
+                                 : 0;
+            ws.queue_depth = 0;
+            ws.now_cycles = now;
+            wstate_.last_end = now;
+            if (n.last_wait.wake_latency != 0) {
+                wstate_.policy.note_wake_latency(n.last_wait.wake_latency);
+                n.last_wait.wake_latency = 0;
+            }
+            const auto old_mode = static_cast<std::uint8_t>(
+                unpack_wait_hint(wstate_.policy.hint()).mode);
+            const std::uint32_t h = wstate_.policy.on_release(ws);
+            const auto new_mode =
+                static_cast<std::uint8_t>(unpack_wait_hint(h).mode);
+            wsite_.set_hint(h);
+            if constexpr (WaitAwareSelect<Select>)
+                select_.on_wait_signal(ws);
+            if constexpr (trace::kCompiled) {
+                if (new_mode != old_mode && trace::enabled()) [[unlikely]] {
+                    std::uint64_t ests = 0;
+                    std::uint64_t ew = 0;
+                    if constexpr (requires {
+                                      wstate_.policy.hold_estimate();
+                                      wstate_.policy.block_estimate();
+                                      wstate_.policy.expected_wait();
+                                  }) {
+                        ests = (wstate_.policy.hold_estimate() << 32) |
+                               (wstate_.policy.block_estimate() &
+                                0xffffffffull);
+                        ew = wstate_.policy.expected_wait();
+                    }
+                    trace::emit(trace::EventType::kWaitModeSwitch,
+                                trace::ObjectClass::kBarrier, trace_id_,
+                                old_mode, new_mode, P::now(), h, ests, ew);
+                }
+            }
+        }
+    }
 
     /**
      * The completer's in-consensus step, run after its arrival and
@@ -564,6 +728,10 @@ class ReactiveBarrier {
     // Socket of the previous completer (socket-aware policies only;
     // mutated in-consensus only).
     SocketHandoffTracker<P> completer_socket_;
+    // Waiting-mode state: both empty (and branch-free above) for
+    // SpinWaiting instantiations.
+    [[no_unique_address]] Site wsite_;
+    [[no_unique_address]] WaitState wstate_;  // mutated in-consensus only
     // Trace identity (0 when tracing is compiled out). Unconditional
     // member so object layout is identical in both build modes.
     std::uint32_t trace_id_ =

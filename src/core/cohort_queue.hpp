@@ -51,12 +51,20 @@
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
 #include "trace/trace.hpp"
+#include "waiting/reactive/wait_site.hpp"
 
 namespace reactive {
 
 /// See file header. The global tail is the protocol's consensus
 /// object; everything else is per-socket or per-waiter state.
-template <Platform P>
+///
+/// @tparam Waiting  waiting-mode axis: SpinWaiting (default) keeps the
+///         historical pure-spin waits; ParkWaiting parks local waiters
+///         and queued leaders under their *socket's* WaitSite — wakes
+///         stay socket-local exactly like the grants themselves, so
+///         parking adds no cross-socket traffic beyond the eventcount
+///         broadcast that follows a cross-socket grant.
+template <Platform P, typename Waiting = SpinWaiting>
 class CohortQueue {
   public:
     static constexpr std::uint32_t kWaiting = 0;
@@ -71,8 +79,20 @@ class CohortQueue {
         /// Socket count; waiters name theirs via the platform
         /// (TopologyAwarePlatform; flat platforms all report 0).
         std::uint32_t sockets = 1;
-        /// B: consecutive local grants per global tenancy.
+        /// B: consecutive local grants per global tenancy (the starting
+        /// per-socket budget when auto_budget is on).
         std::uint32_t cohort_limit = 4;
+        /// Auto-size the budget from the depth signal the releasing
+        /// holder reads for free (its local tail vs. the successor it
+        /// just loaded): a deeper-than-one local queue earns the socket
+        /// a longer batch (+1 toward budget_max), a drained one gives
+        /// budget back (-1 toward budget_min). Bounded so the fairness
+        /// proof keeps a small constant: the bound becomes
+        /// (sockets - 1) x (budget_max + 1). Off by default — the
+        /// static-B behavior is unchanged.
+        bool auto_budget = false;
+        std::uint32_t budget_min = 2;
+        std::uint32_t budget_max = 16;
     };
 
     /// Per-acquisition local-queue node; must live from acquire() to
@@ -104,6 +124,21 @@ class CohortQueue {
           sockets_(params.sockets < 1 ? 1 : params.sockets),
           socks_(std::make_unique<CacheAligned<SocketState>[]>(sockets_))
     {
+        if (params_.auto_budget && params_.budget_min < 1)
+            params_.budget_min = 1;
+        if (params_.budget_max < params_.budget_min)
+            params_.budget_max = params_.budget_min;
+        std::uint32_t b = params_.cohort_limit;
+        if (params_.auto_budget) {
+            if (b < params_.budget_min)
+                b = params_.budget_min;
+            if (b > params_.budget_max)
+                b = params_.budget_max;
+        }
+        for (std::uint32_t i = 0; i < sockets_; ++i) {
+            socks_[i]->gnode.socket = i;
+            socks_[i]->budget = b;
+        }
         gtail_.store(initially_valid ? nullptr : invalid_gtail(),
                      std::memory_order_relaxed);
     }
@@ -111,21 +146,33 @@ class CohortQueue {
     /// Attempts to acquire the lock with @p node.
     Outcome acquire(Node& node)
     {
+        AwaitResult wr;
+        return acquire(node, wr);
+    }
+
+    /// Acquire reporting how the waits ran (ParkWaiting callers; under
+    /// SpinWaiting @p wr reports a plain spin). Local waiters and
+    /// queued leaders wait under their socket's site, dispatched by the
+    /// holder-published hint (set_wait_hint).
+    Outcome acquire(Node& node, AwaitResult& wr)
+    {
         SocketState& ss = enqueue_local(node);
         Node* pred = ss.tail.exchange(&node, std::memory_order_acq_rel);
         if (pred == nullptr)
-            return acquire_global(node, ss, /*waited=*/false);
+            return acquire_global(node, ss, /*waited=*/false, wr);
         pred->next.store(&node, std::memory_order_release);
-        std::uint32_t s;
-        while ((s = node.status.load(std::memory_order_acquire)) == kWaiting)
-            P::pause();
+        std::uint32_t s = kWaiting;
+        merge_wait(wr, ss.site.await([&] {
+            return (s = node.status.load(std::memory_order_acquire)) !=
+                   kWaiting;
+        }));
         if (s == kInvalid)
             return Outcome::kInvalid;
         if (s == kGoGlobal) {
             ++grants_;
             return Outcome::kAcquiredWaited;
         }
-        return acquire_global(node, ss, /*waited=*/true);  // kGoAcquire
+        return acquire_global(node, ss, /*waited=*/true, wr);  // kGoAcquire
     }
 
     /**
@@ -165,7 +212,21 @@ class CohortQueue {
         while ((succ = node.next.load(std::memory_order_acquire)) == nullptr)
             P::pause();
         succ->status.store(kGoAcquire, std::memory_order_release);
+        wake_socket(node.socket);
         return false;
+    }
+
+    /// Holder-only broadcast of the packed wait hint to every socket's
+    /// site (ReactiveLock::update_wait_policy). The hint is advisory;
+    /// relaxed stores, no ordering obligations.
+    void set_wait_hint(std::uint32_t packed)
+    {
+        if constexpr (kParking) {
+            for (std::uint32_t i = 0; i < sockets_; ++i)
+                socks_[i]->site.set_hint(packed);
+        } else {
+            (void)packed;
+        }
     }
 
     /// Releases the lock held with @p node.
@@ -192,6 +253,7 @@ class CohortQueue {
                    nullptr)
                 P::pause();
             succ->status.store(kGoAcquire, std::memory_order_release);
+            wake_socket(node.socket);
             return;
         }
         // With one socket there is nobody to be fair *to*: the budget
@@ -199,15 +261,18 @@ class CohortQueue {
         // back to this socket. Passing until the local queue drains
         // makes the flat degeneration's per-grant work identical to
         // plain MCS (one next-load + one status store).
-        if (sockets_ == 1 || ss.passes < params_.cohort_limit) {
+        if (sockets_ == 1 || ss.passes < budget_of(ss)) {
             // Cohort pass: lock and global tenancy stay on this socket.
             ++ss.passes;
+            if (params_.auto_budget)
+                resize_budget(ss, succ);
             REACTIVE_TRACE_EVENT(trace::EventType::kCohortGrant,
                                  trace::ObjectClass::kCohort, trace_id_,
                                  static_cast<std::uint8_t>(node.socket),
                                  static_cast<std::uint8_t>(node.socket),
                                  P::now(), ss.passes);
             succ->status.store(kGoGlobal, std::memory_order_release);
+            wake_socket(node.socket);
             return;
         }
         // Budget exhausted: the global queue moves on *first* (the
@@ -221,6 +286,7 @@ class CohortQueue {
                              P::now(), ss.passes);
         release_global(ss);
         succ->status.store(kGoAcquire, std::memory_order_release);
+        wake_socket(node.socket);
     }
 
     // ---- consensus-object entry points (reactive dispatcher only) ----
@@ -319,6 +385,7 @@ class CohortQueue {
             h = next;
         }
         h->status.store(kInvalid, std::memory_order_release);
+        wake_all_sites();
     }
 
     // ---- racy inspection (tests, monitoring) -------------------------
@@ -335,22 +402,90 @@ class CohortQueue {
 
     std::uint32_t sockets() const { return sockets_; }
     std::uint32_t cohort_limit() const { return params_.cohort_limit; }
+    bool auto_budget() const { return params_.auto_budget; }
+    std::uint32_t budget_max() const { return params_.budget_max; }
+
+    /// Current per-socket budget (== cohort_limit when auto_budget is
+    /// off). In-consensus exact, racy diagnostic elsewhere.
+    std::uint32_t socket_budget(std::uint32_t s) const
+    {
+        return params_.auto_budget ? socks_[s % sockets_]->budget
+                                   : params_.cohort_limit;
+    }
+
+    /// Whether this instantiation parks waiters (tests).
+    static constexpr bool kParking = WaitSite<P, Waiting>::kParking;
 
   private:
     struct GlobalNode {
         typename P::template Atomic<GlobalNode*> next{nullptr};
         typename P::template Atomic<std::uint32_t> status{kWaiting};
+        std::uint32_t socket = 0;  // fixed at construction (owning socket)
     };
 
     /// Per-socket state, one line per socket: the local tail is that
     /// socket's enqueue point, the global node is touched only by the
-    /// socket's leader (local leadership serializes it), and the pass
-    /// budget only by lock holders.
+    /// socket's leader (local leadership serializes it), the pass
+    /// budget only by lock holders, and the waiting site by the
+    /// socket's waiters plus whoever grants to them.
     struct SocketState {
         typename P::template Atomic<Node*> tail{nullptr};
         GlobalNode gnode;
         std::uint32_t passes = 0;
+        /// Floating cohort budget (auto_budget); holder-only.
+        std::uint32_t budget = 0;
+        /// Socket-local parking point (empty under SpinWaiting).
+        [[no_unique_address]] WaitSite<P, Waiting> site;
     };
+
+    /// A cohort pass is the one point where the holder sees the local
+    /// depth for free: it already loaded the successor, and the tail is
+    /// the socket's own line. tail != succ means at least one more
+    /// waiter queued behind the successor — demand justifies a longer
+    /// batch; a drained queue hands budget back. One step per grant,
+    /// clamped, so the fairness constant stays budget_max + 1.
+    void resize_budget(SocketState& ss, Node* succ)
+    {
+        if (ss.tail.load(std::memory_order_relaxed) != succ) {
+            if (ss.budget < params_.budget_max)
+                ++ss.budget;
+        } else if (ss.budget > params_.budget_min) {
+            --ss.budget;
+        }
+    }
+
+    std::uint32_t budget_of(const SocketState& ss) const
+    {
+        return params_.auto_budget ? ss.budget : params_.cohort_limit;
+    }
+
+    /// Socket-local wake after a condition-changing store (no-op under
+    /// SpinWaiting). The store must precede the call in program order.
+    void wake_socket(std::uint32_t s)
+    {
+        if constexpr (kParking)
+            socks_[s]->site.wake_all();
+    }
+
+    /// Broadcast wake after a chain walk that signalled nodes on
+    /// potentially every socket (invalidation paths; rare).
+    void wake_all_sites()
+    {
+        if constexpr (kParking) {
+            for (std::uint32_t i = 0; i < sockets_; ++i)
+                socks_[i]->site.wake_all();
+        }
+    }
+
+    /// Folds a second wait's cost into an acquisition's AwaitResult
+    /// (local wait then global wait).
+    static void merge_wait(AwaitResult& into, const AwaitResult& r)
+    {
+        into.wait_cycles += r.wait_cycles;
+        into.blocked = into.blocked || r.blocked;
+        if (r.wake_latency != 0)
+            into.wake_latency = r.wake_latency;
+    }
 
     static GlobalNode* invalid_gtail()
     {
@@ -378,7 +513,8 @@ class CohortQueue {
 
     /// Local leader's global acquisition (or bail-out on a retired
     /// protocol).
-    Outcome acquire_global(Node& node, SocketState& ss, bool waited)
+    Outcome acquire_global(Node& node, SocketState& ss, bool waited,
+                           AwaitResult& wr)
     {
         GlobalNode& g = ss.gnode;
         g.next.store(nullptr, std::memory_order_relaxed);
@@ -391,16 +527,19 @@ class CohortQueue {
             // behind us globally, then our own local followers.
             invalidate_global_from(&g);
             local_bailout(node, ss);
+            wake_all_sites();
             return Outcome::kInvalid;
         }
         if (gpred != nullptr) {
             gpred->next.store(&g, std::memory_order_release);
-            std::uint32_t s;
-            while ((s = g.status.load(std::memory_order_acquire)) ==
-                   kWaiting)
-                P::pause();
+            std::uint32_t s = kWaiting;
+            merge_wait(wr, ss.site.await([&] {
+                return (s = g.status.load(std::memory_order_acquire)) !=
+                       kWaiting;
+            }));
             if (s == kInvalid) {
                 local_bailout(node, ss);
+                wake_socket(node.socket);
                 return Outcome::kInvalid;
             }
             waited = true;
@@ -430,14 +569,17 @@ class CohortQueue {
                 P::pause();
             if (usurper == invalid_gtail()) {
                 invalidate_global_from(succ);
+                wake_all_sites();
             } else if (usurper != nullptr) {
                 usurper->next.store(succ, std::memory_order_release);
             } else {
                 succ->status.store(kGoGlobal, std::memory_order_release);
+                wake_socket(succ->socket);
             }
             return;
         }
         succ->status.store(kGoGlobal, std::memory_order_release);
+        wake_socket(succ->socket);
     }
 
     /// Swings the global tail (back) to INVALID and signals the chain

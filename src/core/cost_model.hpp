@@ -177,6 +177,26 @@ struct SocketSplitStat {
     std::uint32_t count() const { return local.count + remote.count; }
 };
 
+/**
+ * One waiting-axis observation, assembled for free by the departing
+ * holder at release (src/waiting/reactive/): the span it held the
+ * object and the advisory count of parked/queued waiters it saw.
+ * Consumed by WaitSelectPolicy (waiting/reactive/wait_select.hpp) to
+ * pick spin / two-phase / park, and optionally by wait-aware
+ * N-protocol selection policies (WaitAwareSelect,
+ * core/protocol_set.hpp). Single-writer under the same in-consensus
+ * serialization as every other estimator lane.
+ */
+struct WaitSignal {
+    std::uint64_t hold_cycles = 0;  ///< acquisition -> release span
+    std::uint32_t queue_depth = 0;  ///< waiters observed at release
+    /// Release timestamp (P::now() at signal assembly). Lets the policy
+    /// measure release-to-release intervals — the object's end-to-end
+    /// service rate, the quantity mode probing compares. 0 = caller
+    /// does not supply timestamps (interval probing disabled).
+    std::uint64_t now_cycles = 0;
+};
+
 // clang-format off
 /**
  * Refinement of SwitchPolicy for policies that consume runtime cost
@@ -791,10 +811,24 @@ class CalibratedCompetitive3Policy {
  * residual exceeds the round trip" is x = round_trip / residual (and
  * likewise y). This class recomputes x and y from the estimator on
  * every decision, clamped to [min_streak, max_streak] so a degenerate
- * estimate can neither pin the policy open nor slam it shut. Unlike the
- * competitive policy it does not probe: hysteresis already embodies
- * deliberate switching inertia, and its dormant estimates refresh
- * whenever the protocols genuinely alternate.
+ * estimate can neither pin the policy open nor slam it shut.
+ *
+ * Historically it never probed, on the argument that hysteresis
+ * already embodies deliberate switching inertia and its dormant
+ * estimates refresh whenever the protocols genuinely alternate. That
+ * argument has a hole: a workload that settles permanently into one
+ * home never alternates, so the dormant residual — and therefore the
+ * streak threshold guarding the switch *toward* that protocol — is
+ * frozen at whatever the estimator last saw, arbitrarily stale.
+ * `probe_period != 0` (off by default: decisions are then identical
+ * to the historical policy) enables the competitive policy's
+ * backed-off refresh probes: every probe_period home acquisitions
+ * (doubling after each quiet probe, capped), switch into the dormant
+ * protocol for probe_len observed acquisitions purely to refresh its
+ * latency classes, then switch straight back. Probes are measurement
+ * episodes, not evidence — the streaks neither advance nor reset
+ * while probing, and a genuine streak-driven switch resets the
+ * backoff (the signals moved).
  */
 class CalibratedHysteresisPolicy {
   public:
@@ -802,6 +836,12 @@ class CalibratedHysteresisPolicy {
         CostEstimator::Params costs{};
         std::uint32_t min_streak = 2;
         std::uint32_t max_streak = 4096;
+        /// Refresh-probe cadence in home-protocol acquisitions; 0
+        /// (default) disables probing — the historical behavior.
+        std::uint32_t probe_period = 0;
+        /// Observed acquisitions a probe spends in the dormant
+        /// protocol before switching back home.
+        std::uint32_t probe_len = 8;
     };
 
     CalibratedHysteresisPolicy() = default;
@@ -813,26 +853,47 @@ class CalibratedHysteresisPolicy {
 
     bool on_tts_acquire(bool contended)
     {
+        if (probe_ == Probe::kProbing && home_is_queue_)
+            return probe_step();
+        probe_ = Probe::kNone;  // home-mode callback ends any stale probe
+        home_is_queue_ = false;
+        ++acq_since_probe_;
         if (!contended) {
             contended_streak_ = 0;
-            return false;
+            return probe_due();
         }
-        return ++contended_streak_ >= to_queue_streak();
+        if (++contended_streak_ >= to_queue_streak()) {
+            probe_backoff_ = 0;  // the signals moved: regime shift
+            return true;
+        }
+        return probe_due();
     }
 
     bool on_queue_acquire(bool empty)
     {
+        if (probe_ == Probe::kProbing && !home_is_queue_)
+            return probe_step();
+        probe_ = Probe::kNone;
+        home_is_queue_ = true;
+        ++acq_since_probe_;
         if (!empty) {
             empty_streak_ = 0;
-            return false;
+            return probe_due();
         }
-        return ++empty_streak_ >= to_tts_streak();
+        if (++empty_streak_ >= to_tts_streak()) {
+            probe_backoff_ = 0;
+            return true;
+        }
+        return probe_due();
     }
 
     void on_switch()
     {
         contended_streak_ = 0;
         empty_streak_ = 0;
+        acq_since_probe_ = 0;
+        probe_acqs_ = 0;
+        probe_ = probe_ == Probe::kPending ? Probe::kProbing : Probe::kNone;
         skip_next_sample_ = true;
     }
 
@@ -889,8 +950,18 @@ class CalibratedHysteresisPolicy {
 
     const CostEstimator& estimator() const { return est_; }
     CostEstimator& estimator() { return est_; }
+    std::uint64_t probes_started() const { return probes_started_; }
+    bool probing() const { return probe_ != Probe::kNone; }
 
   private:
+    enum class Probe : std::uint8_t {
+        kNone,     ///< normal operation in the home protocol
+        kPending,  ///< probe switch requested, waiting for on_switch()
+        kProbing,  ///< sampling the dormant protocol
+    };
+
+    static constexpr std::uint32_t kProbeBackoffCap = 6;
+
     std::uint32_t derive(std::uint64_t residual) const
     {
         const std::uint64_t x = est_.switch_round_trip() / residual;
@@ -901,10 +972,45 @@ class CalibratedHysteresisPolicy {
         return static_cast<std::uint32_t>(x);
     }
 
+    /// One observed acquisition executed in the dormant protocol
+    /// during a probe. The probe only refreshes estimates (the
+    /// sampling overloads already fed the estimator); the streaks are
+    /// untouched — a probe is a measurement episode, not evidence.
+    bool probe_step()
+    {
+        if (++probe_acqs_ < params_.probe_len)
+            return false;
+        probe_ = Probe::kNone;
+        return true;  // switch back home
+    }
+
+    /// Requests a refresh probe once the backed-off period elapses.
+    /// With probe_period == 0 this is constant-false and every
+    /// decision is identical to the historical non-probing policy.
+    bool probe_due()
+    {
+        if (params_.probe_period == 0 ||
+            acq_since_probe_ <
+                (static_cast<std::uint64_t>(params_.probe_period)
+                 << probe_backoff_))
+            return false;
+        probe_ = Probe::kPending;
+        if (probe_backoff_ < kProbeBackoffCap)
+            ++probe_backoff_;
+        ++probes_started_;
+        return true;
+    }
+
     Params params_;
     CostEstimator est_;
+    std::uint64_t acq_since_probe_ = 0;
+    std::uint64_t probes_started_ = 0;
     std::uint32_t contended_streak_ = 0;
     std::uint32_t empty_streak_ = 0;
+    std::uint32_t probe_backoff_ = 0;
+    std::uint32_t probe_acqs_ = 0;
+    Probe probe_ = Probe::kNone;
+    bool home_is_queue_ = false;  ///< inferred from the callbacks
     bool skip_next_sample_ = false;
 };
 

@@ -125,6 +125,19 @@ concept SocketAwareSelect =
     requires(Pol p, ProtocolSignal s, std::uint64_t c, bool x) {
         { p.next_protocol(s, c, x) } -> std::same_as<std::uint32_t>;
     };
+
+/**
+ * Select-side waiting-axis observation (src/waiting/reactive/): the
+ * departing holder's WaitSignal — hold span and observed queue depth —
+ * delivered in-consensus at release. Primitives detect the refinement
+ * with `if constexpr` exactly like the calibrating ones; policies
+ * without it compile to the code they compiled to before the waiting
+ * subsystem existed.
+ */
+template <typename Pol>
+concept WaitAwareSelect = requires(Pol p, const WaitSignal& s) {
+    { p.on_wait_signal(s) } -> std::same_as<void>;
+};
 // clang-format on
 
 /**
@@ -531,7 +544,9 @@ class CalibratedLadderPolicy {
           age_(n_, 0),
           accounts_(n_, 0),
           bar_shift_(n_, 0),
-          switch_span_(EwmaStat{0})
+          switch_span_(EwmaStat{0}),
+          wait_hold_(0),
+          wait_depth_x16_(0)
     {
         if (params_.probe_len < 2)
             params_.probe_len = 2;  // first probe sample is discarded
@@ -587,6 +602,28 @@ class CalibratedLadderPolicy {
         // policy's switch-cost control surface.
         switch_span_.observe(cycles, params_.ewma_shift);
     }
+
+    // ---- WaitAwareSelect ---------------------------------------------
+    //
+    // The waiting axis shares the holder's release-time observation so
+    // rung selection and wait-mode selection see one in-consensus
+    // sample stream: hold spans and queue depths are protocol-agnostic
+    // load evidence (a deep queue at release is *measured* pressure,
+    // where drift is inferred). The lanes are estimator state exposed
+    // to traces and tests; the rung decision stays drift+latency
+    // driven — the waiting axis must not double-count evidence the
+    // drift accounts already carry.
+
+    void on_wait_signal(const WaitSignal& s)
+    {
+        wait_hold_.observe(s.hold_cycles, params_.ewma_shift);
+        wait_depth_x16_.observe(
+            static_cast<std::uint64_t>(s.queue_depth) * 16,
+            params_.ewma_shift);
+    }
+
+    std::uint64_t wait_hold() const { return wait_hold_.value; }
+    std::uint64_t wait_depth_x16() const { return wait_depth_x16_.value; }
 
     /// Re-sizes the ladder to @p n rungs, resetting the measurement
     /// and probe state (called by the reactive primitives at
@@ -775,6 +812,8 @@ class CalibratedLadderPolicy {
     std::vector<std::uint64_t> accounts_;
     std::vector<std::uint32_t> bar_shift_;
     EwmaStat switch_span_;
+    EwmaStat wait_hold_;       ///< WaitAwareSelect lane: hold spans
+    EwmaStat wait_depth_x16_;  ///< WaitAwareSelect lane: depth x16
     std::uint32_t home_ = 0;
     std::uint32_t probe_target_ = 0;
     std::uint32_t probe_acqs_ = 0;
@@ -789,6 +828,8 @@ class CalibratedLadderPolicy {
 
 static_assert(SelectPolicy<CalibratedLadderPolicy>);
 static_assert(CalibratingSelectPolicy<CalibratedLadderPolicy>);
+static_assert(WaitAwareSelect<CalibratedLadderPolicy>);
+static_assert(!WaitAwareSelect<LadderCompetitivePolicy>);
 
 // The binary policies embed as two-protocol SelectPolicies.
 static_assert(SelectPolicy<SelectAdapter<AlwaysSwitchPolicy>>);

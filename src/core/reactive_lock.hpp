@@ -47,6 +47,7 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "audit/audit.hpp"
 #include "core/cost_model.hpp"
@@ -57,6 +58,7 @@
 #include "platform/cache_line.hpp"
 #include "platform/platform_concept.hpp"
 #include "trace/instrument.hpp"
+#include "waiting/reactive/wait_site.hpp"
 
 namespace reactive {
 
@@ -88,9 +90,22 @@ struct ReactiveLockParams {
  *                acquire_invalid, invalidate). The default is the flat
  *                MCS ReactiveQueue; CohortQueue (core/cohort_queue.hpp)
  *                substitutes NUMA cohort handoff.
+ * @tparam Waiting  waiting-mode axis (waiting/reactive/wait_site.hpp):
+ *                SpinWaiting (default) keeps the historical pure-spin
+ *                slow paths byte-for-byte (every parking branch is
+ *                `if constexpr`-pruned and the site/state members are
+ *                empty); ParkWaiting dispatches the slow-path waits
+ *                through the holder-published hint (spin / two-phase /
+ *                park) over an object-level WaitSite.
+ * @tparam WaitPolicy  waiting-mode selection policy (WaitSelectPolicy;
+ *                only instantiated under ParkWaiting). The default
+ *                calibrates Lpoll = alpha x B from measured wake
+ *                latencies; FixedWaitPolicy forces a static mode.
  */
 template <Platform P, typename Policy = AlwaysSwitchPolicy,
-          typename Queue = ReactiveQueue<P>>
+          typename Queue = ReactiveQueue<P>,
+          typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveLock {
   public:
     /// The select-interface view of the policy parameter.
@@ -114,6 +129,13 @@ class ReactiveLock {
 
     /// Queue node; must live from acquire() to release().
     using Node = typename Queue::Node;
+
+    /// The object-level waiting site for this Waiting tag.
+    using Site = WaitSite<P, Waiting>;
+    /// Whether slow-path waits may park (ParkWaiting instantiations).
+    static constexpr bool kParking = Site::kParking;
+
+    static_assert(WaitSelectPolicy<WaitPolicy>);
 
     ReactiveLock() : ReactiveLock(ReactiveLockParams{}, Policy{}) {}
 
@@ -159,6 +181,7 @@ class ReactiveLock {
             // against this socket (plain store, no timestamp).
             if constexpr (kSocketAware)
                 (void)note_holder_socket();
+            stamp_hold();
             REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
                                  trace::ObjectClass::kLock, trace_id_,
                                  kTtsIndex, kTtsIndex, P::now());
@@ -200,6 +223,7 @@ class ReactiveLock {
                 select_.on_tts_fast_acquire();
             if constexpr (kSocketAware)
                 (void)note_holder_socket();
+            stamp_hold();
             REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
                                  trace::ObjectClass::kLock, trace_id_,
                                  kTtsIndex, kTtsIndex, P::now());
@@ -208,6 +232,7 @@ class ReactiveLock {
         if (mode() == Mode::kQueue && queue_.try_acquire(node)) {
             if constexpr (kSocketAware)
                 (void)note_holder_socket();
+            stamp_hold();
             return ReleaseMode::kQueue;
         }
         return std::nullopt;
@@ -216,6 +241,11 @@ class ReactiveLock {
     /// Releases the lock, performing any pending protocol change.
     void release(Node& node, ReleaseMode mode)
     {
+        // Waiting-mode selection happens first, while still in
+        // consensus: fold this hold's span and the free queue-depth
+        // signal into the wait policy and publish the new hint, so the
+        // waiters this release is about to signal dispatch under it.
+        update_wait_policy();
         switch (mode) {
         case ReleaseMode::kTts:
             release_tts();
@@ -229,6 +259,22 @@ class ReactiveLock {
         case ReleaseMode::kQueueToTts:
             release_queue_to_tts(node);
             break;
+        }
+        // Parking wake rule: every condition-changing store above (TTS
+        // free, queue grant, mode flip, invalidation walk) is followed
+        // here, in the same thread, by a site broadcast. Parked waiters
+        // re-check their own predicate and re-park if it still fails.
+        if constexpr (kParking) {
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]] {
+                    const std::uint32_t w = wsite_.waiters();
+                    if (w > 0)
+                        trace::emit(trace::EventType::kWake,
+                                    trace::ObjectClass::kLock, trace_id_, 0,
+                                    0, P::now(), w);
+                }
+            }
+            wsite_.wake_all();
         }
     }
 
@@ -253,6 +299,24 @@ class ReactiveLock {
             return select_;
         else
             return select_.underlying();
+    }
+
+    /// Wait-policy state access (in-consensus callers only).
+    WaitPolicy& wait_policy()
+        requires kParking
+    {
+        return wstate_.policy;
+    }
+
+    /// The packed wait hint currently published to waiters (tests).
+    std::uint32_t wait_hint() const { return wsite_.hint(); }
+
+    /// Wait-mode transitions published over the lock's lifetime
+    /// (tests/benchmarks; 0 for a run the policy never left spin).
+    std::uint64_t wait_mode_changes() const
+        requires kParking
+    {
+        return wstate_.mode_changes;
     }
 
   private:
@@ -280,6 +344,110 @@ class ReactiveLock {
 
     bool note_holder_socket() { return holder_socket_.note_handoff(); }
 
+    // ---- waiting-mode selection (ParkWaiting instantiations only) ----
+
+    /// Park-axis holder state; the empty stand-in keeps SpinWaiting
+    /// object layout (and code) identical to the pre-subsystem lock.
+    struct ParkWaitState {
+        WaitPolicy policy{};
+        std::uint64_t hold_start = 0;  ///< stamped at every acquisition
+        /// Wait-mode transitions published so far. Observability only
+        /// (tests, benchmarks): the *final* hint says nothing about a
+        /// run — a calibrated policy correctly decays back to spin as
+        /// contention drains at the end.
+        std::uint64_t mode_changes = 0;
+    };
+    struct NoWaitState {};
+    using WaitState = std::conditional_t<kParking, ParkWaitState, NoWaitState>;
+
+    /// Every successful acquisition stamps the hold start so the
+    /// departing holder can report its span for free. The stamp also
+    /// closes the release-to-acquire handoff gap — the policy's
+    /// saturation discriminator — but no extra call is needed here: the
+    /// policy recovers the gap from the release-stamped WaitSignal
+    /// (now_cycles - hold_cycles = this stamp).
+    void stamp_hold()
+    {
+        if constexpr (kParking)
+            wstate_.hold_start = P::now();
+    }
+
+    /// A slow-path winner reports how it waited. Called only once the
+    /// caller *is* the holder, so feeding the measured samples to the
+    /// (single-writer) wait policy is in-consensus.
+    void note_waited(const AwaitResult& wr)
+    {
+        if constexpr (kParking) {
+            if constexpr (requires(std::uint64_t c) {
+                              wstate_.policy.note_wait(c);
+                          }) {
+                if (wr.wait_cycles != 0)
+                    wstate_.policy.note_wait(wr.wait_cycles);
+            }
+            if (!wr.blocked)
+                return;
+            if (wr.wake_latency != 0)
+                wstate_.policy.note_wake_latency(wr.wake_latency);
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]] {
+                    const auto m = static_cast<std::uint8_t>(
+                        unpack_wait_hint(wsite_.hint()).mode);
+                    trace::emit(trace::EventType::kPark,
+                                trace::ObjectClass::kLock, trace_id_, m, m,
+                                P::now(), wr.wait_cycles, wr.wake_latency);
+                }
+            }
+        }
+    }
+
+    /// Departing holder (still in consensus): fold this hold's span and
+    /// the free queue-depth signal into the wait policy, publish the new
+    /// hint, and mirror the signal into a wait-aware protocol policy.
+    void update_wait_policy()
+    {
+        if constexpr (kParking) {
+            WaitSignal ws;
+            const std::uint64_t now = P::now();
+            ws.hold_cycles =
+                now > wstate_.hold_start ? now - wstate_.hold_start : 0;
+            ws.queue_depth = wsite_.waiters();
+            ws.now_cycles = now;
+            const auto old_mode = static_cast<std::uint8_t>(
+                unpack_wait_hint(wstate_.policy.hint()).mode);
+            const std::uint32_t h = wstate_.policy.on_release(ws);
+            const auto new_mode =
+                static_cast<std::uint8_t>(unpack_wait_hint(h).mode);
+            if (new_mode != old_mode)
+                ++wstate_.mode_changes;
+            wsite_.set_hint(h);
+            if constexpr (requires(std::uint32_t x) {
+                              queue_.set_wait_hint(x);
+                          })
+                queue_.set_wait_hint(h);
+            if constexpr (WaitAwareSelect<Select>)
+                select_.on_wait_signal(ws);
+            if constexpr (trace::kCompiled) {
+                if (new_mode != old_mode && trace::enabled()) [[unlikely]] {
+                    std::uint64_t ests = 0;
+                    std::uint64_t ew = 0;
+                    if constexpr (requires {
+                                      wstate_.policy.hold_estimate();
+                                      wstate_.policy.block_estimate();
+                                      wstate_.policy.expected_wait();
+                                  }) {
+                        ests = (wstate_.policy.hold_estimate() << 32) |
+                               (wstate_.policy.block_estimate() &
+                                0xffffffffull);
+                        ew = wstate_.policy.expected_wait();
+                    }
+                    trace::emit(trace::EventType::kWaitModeSwitch,
+                                trace::ObjectClass::kLock, trace_id_,
+                                old_mode, new_mode, P::now(), h, ests, ew);
+                }
+            }
+        }
+    }
+
     /// Bookkeeping common to every successful TTS acquisition; the
     /// caller holds the lock, so policy state is safe to touch. A
     /// latency sample is passed only when its class is clean: an
@@ -289,6 +457,7 @@ class ReactiveLock {
     /// estimator's residuals (see cost_model.hpp).
     ReleaseMode tts_acquired(bool contended, bool spun, std::uint64_t start)
     {
+        stamp_hold();
         const ProtocolSignal sig{kTtsIndex, contended ? +1 : 0};
         const trace::ProbeWatch<Select> probe(select_, trace::enabled());
         [[maybe_unused]] std::uint64_t cycles = 0;
@@ -346,32 +515,78 @@ class ReactiveLock {
     /// Figure 3.28 acquire_tts: spin with backoff, count failed
     /// attempts; returns nullopt if the mode changed (caller retries
     /// with the queue protocol).
+    ///
+    /// Under ParkWaiting the wait runs through the site instead: the
+    /// predicate *acquires* (the same load-then-exchange), counts its
+    /// failed attempts for the contention signal, and aborts on a mode
+    /// change via a captured flag. The spin build's exponential
+    /// backoff is passed through as the site's poll step: spin mode
+    /// must reproduce the spin build exactly, and polling the
+    /// contended TTS line at pause cadence is an invalidation storm
+    /// the spin build does not have. (Two-phase polling is bounded by
+    /// Lpoll and park mode does not poll, so the backoff only ever
+    /// paces the spin-mode loop.)
     std::optional<ReleaseMode> try_acquire_tts()
     {
         const std::uint64_t start = kCalibrating ? P::now() : 0;
-        ExpBackoff<P> backoff(params_.backoff);
-        std::uint32_t retries = 0;
-        bool contended = false;
-        bool spun = false;
-        for (;;) {
-            if (tts_lock_.load(std::memory_order_relaxed) == kFree) {
-                if (tts_lock_.exchange(kBusy, std::memory_order_acquire) ==
-                    kFree)
-                    return tts_acquired(contended, spun, start);
-                if (++retries > params_.tts_retry_limit)
-                    contended = true;
-            }
-            spun = true;
-            backoff.pause();
-            if (mode_.value.load(std::memory_order_relaxed) !=
-                static_cast<std::uint32_t>(Mode::kTts))
+        if constexpr (kParking) {
+            ExpBackoff<P> backoff(params_.backoff);
+            std::uint32_t retries = 0;
+            std::uint32_t polls = 0;
+            bool won = false;
+            bool aborted = false;
+            const AwaitResult wr = wsite_.await([&] {
+                ++polls;
+                if (tts_lock_.load(std::memory_order_relaxed) == kFree) {
+                    if (tts_lock_.exchange(kBusy,
+                                           std::memory_order_acquire) ==
+                        kFree) {
+                        won = true;
+                        return true;
+                    }
+                    ++retries;
+                }
+                if (mode_.value.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint32_t>(Mode::kTts)) {
+                    aborted = true;
+                    return true;
+                }
+                return false;
+            }, [&] { backoff.pause(); });
+            if (!won) {
+                (void)aborted;
                 return std::nullopt;
+            }
+            note_waited(wr);
+            return tts_acquired(retries > params_.tts_retry_limit,
+                                /*spun=*/polls > 1, start);
+        } else {
+            ExpBackoff<P> backoff(params_.backoff);
+            std::uint32_t retries = 0;
+            bool contended = false;
+            bool spun = false;
+            for (;;) {
+                if (tts_lock_.load(std::memory_order_relaxed) == kFree) {
+                    if (tts_lock_.exchange(kBusy,
+                                           std::memory_order_acquire) ==
+                        kFree)
+                        return tts_acquired(contended, spun, start);
+                    if (++retries > params_.tts_retry_limit)
+                        contended = true;
+                }
+                spun = true;
+                backoff.pause();
+                if (mode_.value.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint32_t>(Mode::kTts))
+                    return std::nullopt;
+            }
         }
     }
 
     /// Queue-side twin of tts_acquired.
     ReleaseMode queue_acquired(bool empty, std::uint64_t start)
     {
+        stamp_hold();
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
         const trace::ProbeWatch<Select> probe(select_, trace::enabled());
         [[maybe_unused]] std::uint64_t cycles = 0;
@@ -432,7 +647,33 @@ class ReactiveLock {
     std::optional<ReleaseMode> try_acquire_queue(Node& node)
     {
         const std::uint64_t start = kCalibrating ? P::now() : 0;
-        switch (queue_.acquire(node)) {
+        typename Queue::Outcome oc;
+        if constexpr (kParking && requires(AwaitResult& wr) {
+                          queue_.acquire(node, wsite_, wr);
+                      }) {
+            AwaitResult wr;
+            oc = queue_.acquire(node, wsite_, wr);
+            if (oc == Queue::Outcome::kAcquiredWaited)
+                note_waited(wr);
+            else if (oc == Queue::Outcome::kInvalid)
+                // Our enqueue landed on an invalid tail: acquire()
+                // dismantled the bogus chain we headed, storing kInvalid
+                // into nodes whose owners may be parked on this site.
+                wsite_.wake_all();
+        } else if constexpr (kParking && requires(AwaitResult& wr) {
+                                 queue_.acquire(node, wr);
+                             }) {
+            // Queues with their own internal sites (CohortQueue's
+            // per-socket parking) run the waits themselves and report
+            // the combined cost back.
+            AwaitResult wr;
+            oc = queue_.acquire(node, wr);
+            if (oc == Queue::Outcome::kAcquiredWaited)
+                note_waited(wr);
+        } else {
+            oc = queue_.acquire(node);
+        }
+        switch (oc) {
         case Queue::Outcome::kAcquiredEmpty:
             // An empty queue signals low contention.
             return queue_acquired(/*empty=*/true, start);
@@ -523,6 +764,10 @@ class ReactiveLock {
     // Socket of the previous holder (socket-aware policies only;
     // mutated in-consensus by each new holder).
     SocketHandoffTracker<P> holder_socket_;
+    // Waiting axis: the object-level parking site and the holder-only
+    // wait-policy state. Both are empty under SpinWaiting.
+    [[no_unique_address]] Site wsite_;
+    [[no_unique_address]] WaitState wstate_;
     // Trace identity (0 when tracing is compiled out). Unconditional
     // member so object layout is identical in both build modes.
     std::uint32_t trace_id_ = trace::new_object(trace::ObjectClass::kLock);

@@ -30,10 +30,12 @@ namespace reactive {
  * lock() is non-reentrant and unlock() must come from the locking
  * thread.
  */
-template <Platform P, typename Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Queue = ReactiveQueue<P>, typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveMutex {
   public:
-    using Lock = ReactiveLock<P, Policy>;
+    using Lock = ReactiveLock<P, Policy, Queue, Waiting, WaitPolicy>;
 
     ReactiveMutex() = default;
     explicit ReactiveMutex(ReactiveLockParams params, Policy policy = Policy{})
@@ -116,10 +118,11 @@ class ReactiveMutex {
  * application kernels). The release token rides inside the Node.
  */
 template <Platform P, typename Policy = AlwaysSwitchPolicy,
-          typename Queue = ReactiveQueue<P>>
+          typename Queue = ReactiveQueue<P>, typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveNodeLock {
   public:
-    using Inner = ReactiveLock<P, Policy, Queue>;
+    using Inner = ReactiveLock<P, Policy, Queue, Waiting, WaitPolicy>;
 
     struct Node {
         typename Inner::Node qnode;

@@ -81,6 +81,39 @@ class ReactiveQueue {
     }
 
     /**
+     * Site-aware acquisition: identical enqueue to acquire(Node&), but
+     * the status wait runs through @p site's await (a
+     * waiting::WaitSite — duck-typed here so the core layer stays free
+     * of a waiting dependency), which may spin, spin-then-park, or park
+     * immediately per the holder-published hint. @p wr receives the
+     * AwaitResult when the wait actually ran (untouched on the empty /
+     * invalid fast paths). Wakes are the *lock's* obligation: whoever
+     * stores kGo / kInvalid into a node must follow with
+     * site.wake_all() — the queue cannot do it because the release
+     * store may grant a node whose owner races ahead and reuses it.
+     */
+    template <typename Site, typename Result>
+    Outcome acquire(Node& node, Site& site, Result& wr)
+    {
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.status.store(kWaiting, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == nullptr)
+            return Outcome::kAcquiredEmpty;
+        if (pred == invalid_tail()) {
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        pred->next.store(&node, std::memory_order_release);
+        std::uint32_t s = kWaiting;
+        wr = site.await([&] {
+            return (s = node.status.load(std::memory_order_acquire)) !=
+                   kWaiting;
+        });
+        return s == kGo ? Outcome::kAcquiredWaited : Outcome::kInvalid;
+    }
+
+    /**
      * Non-blocking acquisition attempt: wins only an empty *valid*
      * queue (tail == nullptr); a busy or invalid queue fails without
      * enqueuing. Backs the std try_lock facade — a failure may be

@@ -8,19 +8,42 @@
  * re-test their predicate, and sleep until the epoch moves. This is the
  * `WaitQueue` facet of the native Platform; the simulator provides the
  * same interface with Alewife's measured costs (Table 4.1).
+ *
+ * Both implementations obey one eventcount contract:
+ *
+ *  - `prepare_wait` advertises the waiter (waiters_ += 1, seq_cst)
+ *    *before* snapshotting the epoch; the caller then re-tests its
+ *    predicate and either `cancel_wait`s or `commit_wait`s.
+ *  - `notify_*` bumps the epoch with a seq_cst RMW *before* consulting
+ *    waiters_ to decide whether the expensive wake (syscall /
+ *    cv.notify) is needed.
+ *
+ * Those two seq_cst RMWs are the Dekker store/load pairing that closes
+ * the prepare/notify race window: if the notifier reads waiters_ == 0
+ * and skips the wake, its epoch bump is ordered before the waiter's
+ * advertisement, so the waiter's epoch snapshot (taken after, seq_cst)
+ * already observes the bump — and, transitively, the notifier's
+ * predicate update — and the wait never blocks on the stale epoch. The
+ * condvar fallback must implement the *same* discipline (it
+ * historically skipped the waiter count entirely, which was only
+ * accidentally correct because it also never skipped a notify — and it
+ * could still block through a notify that landed between its late
+ * epoch snapshot and the cv wait, because the snapshot was taken
+ * without advertising anything). Both classes are compiled on Linux so
+ * the unit tests exercise the fallback's race window on the platform
+ * the CI actually runs.
  */
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 
 #if defined(__linux__)
 #include <linux/futex.h>
 #include <sys/syscall.h>
 #include <unistd.h>
-#else
-#include <condition_variable>
-#include <mutex>
 #endif
 
 namespace reactive {
@@ -69,6 +92,13 @@ class FutexWaitQueue {
     /// Wakes all blocked waiters.
     void notify_all() noexcept { notify(INT32_MAX); }
 
+    /// Advisory count of advertised waiters (racy relaxed load) — the
+    /// queue-depth signal a releasing holder reads for free.
+    std::uint32_t waiters() const noexcept
+    {
+        return waiters_.load(std::memory_order_relaxed);
+    }
+
   private:
     void notify(int count) noexcept
     {
@@ -83,35 +113,56 @@ class FutexWaitQueue {
     std::atomic<std::uint32_t> waiters_{0};
 };
 
-using NativeWaitQueue = FutexWaitQueue;
+#endif  // defined(__linux__)
 
-#else  // portable fallback
-
-/// Portable eventcount over mutex + condition_variable.
+/**
+ * Portable eventcount over mutex + condition_variable, with epoch and
+ * waiter accounting matching FutexWaitQueue exactly (see file header):
+ * prepare advertises then snapshots, notify bumps then consults the
+ * count to elide the cv broadcast. The mutex guarantees only what the
+ * futex syscall guarantees internally — that the epoch re-check and
+ * the sleep are atomic against the bump — so a notify that lands
+ * between prepare_wait and commit_wait is observed by the epoch
+ * predicate and the wait returns immediately, exactly as FUTEX_WAIT's
+ * compare-and-sleep would.
+ */
 class CondVarWaitQueue {
   public:
     std::uint32_t prepare_wait() noexcept
     {
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
         return epoch_.load(std::memory_order_seq_cst);
     }
 
-    void cancel_wait() noexcept {}
+    void cancel_wait() noexcept
+    {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
 
     void commit_wait(std::uint32_t epoch) noexcept
     {
-        std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] {
-            return epoch_.load(std::memory_order_relaxed) != epoch;
-        });
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] {
+                return epoch_.load(std::memory_order_relaxed) != epoch;
+            });
+        }
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
     }
 
     void notify_one() noexcept
     {
+        // The bump must happen under the mutex so it cannot land
+        // between a committed waiter's epoch re-check and its cv
+        // sleep (the condvar analogue of FUTEX_WAIT's atomic
+        // compare-and-sleep); the waiter-count check then elides the
+        // notify exactly as the futex path elides its syscall.
         {
             std::lock_guard<std::mutex> lk(mu_);
             epoch_.fetch_add(1, std::memory_order_seq_cst);
         }
-        cv_.notify_one();
+        if (waiters_.load(std::memory_order_seq_cst) != 0)
+            cv_.notify_one();
     }
 
     void notify_all() noexcept
@@ -120,17 +171,27 @@ class CondVarWaitQueue {
             std::lock_guard<std::mutex> lk(mu_);
             epoch_.fetch_add(1, std::memory_order_seq_cst);
         }
-        cv_.notify_all();
+        if (waiters_.load(std::memory_order_seq_cst) != 0)
+            cv_.notify_all();
+    }
+
+    /// Advisory count of advertised waiters (racy relaxed load).
+    std::uint32_t waiters() const noexcept
+    {
+        return waiters_.load(std::memory_order_relaxed);
     }
 
   private:
     std::mutex mu_;
     std::condition_variable cv_;
     std::atomic<std::uint32_t> epoch_{0};
+    std::atomic<std::uint32_t> waiters_{0};
 };
 
+#if defined(__linux__)
+using NativeWaitQueue = FutexWaitQueue;
+#else
 using NativeWaitQueue = CondVarWaitQueue;
-
 #endif
 
 }  // namespace reactive

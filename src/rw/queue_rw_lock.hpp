@@ -114,40 +114,22 @@ class QueueRwLock {
     /// Attempts a shared acquisition with @p node.
     Outcome start_read(Node& node)
     {
-        node.kind = Kind::kReader;
-        node.next.store(nullptr, std::memory_order_relaxed);
-        node.state.store(0, std::memory_order_relaxed);
-        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
-        if (pred == invalid_tail()) {
-            // We head a bogus post-retirement chain; dismantle it so
-            // anyone queued behind us retries too.
-            invalidate(&node);
-            return Outcome::kInvalid;
-        }
-        Outcome out;
-        if (pred == nullptr) {
-            reader_count_.fetch_add(1, std::memory_order_seq_cst);
-            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
-            out = Outcome::kAcquiredEmpty;
-        } else if (pred->kind == Kind::kWriter ||
-                   reader_must_block(*pred)) {
-            // Predecessor is a writer, a still-waiting reader we just
-            // registered with (it will propagate the grant), or an
-            // invalidated node (the invalidator's chain walk will reach
-            // us through the link we are about to publish). Block.
-            pred->next.store(&node, std::memory_order_release);
-            if (!wait_for_signal(node))
-                return Outcome::kInvalid;
-            out = Outcome::kAcquiredWaited;
-        } else {
-            // Predecessor is an *active* reader: join it immediately.
-            reader_count_.fetch_add(1, std::memory_order_seq_cst);
-            pred->next.store(&node, std::memory_order_release);
-            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
-            out = Outcome::kAcquiredWaited;
-        }
-        propagate_reader_grant(node);
-        return out;
+        return start_read_with(node,
+                               [this](Node& n) { return wait_for_signal(n); });
+    }
+
+    /// Shared acquisition whose blocking wait runs through @p site's
+    /// hint-dispatched await (waiting/reactive/wait_site.hpp); @p wr
+    /// receives the wait cost when the wait actually ran. The grant is
+    /// pushed into the node by the predecessor, so the predicate is
+    /// pure — no acquiring action. Wakes are the composing lock's
+    /// obligation (ReactiveRwLock broadcasts after every queue op).
+    template <typename Site, typename Result>
+    Outcome start_read(Node& node, Site& site, Result& wr)
+    {
+        return start_read_with(node, [&](Node& n) {
+            return wait_for_signal(n, site, wr);
+        });
     }
 
     /**
@@ -200,24 +182,18 @@ class QueueRwLock {
     /// Attempts an exclusive acquisition with @p node.
     Outcome start_write(Node& node)
     {
-        node.kind = Kind::kWriter;
-        node.next.store(nullptr, std::memory_order_relaxed);
-        node.state.store(0, std::memory_order_relaxed);
-        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
-        if (pred == invalid_tail()) {
-            invalidate(&node);
-            return Outcome::kInvalid;
-        }
-        if (pred == nullptr) {
-            if (dekker_claim_empty(node))
-                return Outcome::kAcquiredEmpty;
-            return wait_for_signal(node) ? Outcome::kAcquiredWaited
-                                         : Outcome::kInvalid;
-        }
-        pred->state.fetch_or(kSuccWriterBit, std::memory_order_release);
-        pred->next.store(&node, std::memory_order_release);
-        return wait_for_signal(node) ? Outcome::kAcquiredWaited
-                                     : Outcome::kInvalid;
+        return start_write_with(
+            node, [this](Node& n) { return wait_for_signal(n); });
+    }
+
+    /// Exclusive acquisition with a site-dispatched wait; see the
+    /// start_read overload.
+    template <typename Site, typename Result>
+    Outcome start_write(Node& node, Site& site, Result& wr)
+    {
+        return start_write_with(node, [&](Node& n) {
+            return wait_for_signal(n, site, wr);
+        });
     }
 
     /**
@@ -438,6 +414,69 @@ class QueueRwLock {
                                      : Outcome::kInvalid;
     }
 
+    /// Shared-acquisition body, parameterized on the blocking wait
+    /// (@p wait(node) -> true on GO, false on INVALID).
+    template <typename Waiter>
+    Outcome start_read_with(Node& node, Waiter&& wait)
+    {
+        node.kind = Kind::kReader;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == invalid_tail()) {
+            // We head a bogus post-retirement chain; dismantle it so
+            // anyone queued behind us retries too.
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        Outcome out;
+        if (pred == nullptr) {
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            out = Outcome::kAcquiredEmpty;
+        } else if (pred->kind == Kind::kWriter ||
+                   reader_must_block(*pred)) {
+            // Predecessor is a writer, a still-waiting reader we just
+            // registered with (it will propagate the grant), or an
+            // invalidated node (the invalidator's chain walk will reach
+            // us through the link we are about to publish). Block.
+            pred->next.store(&node, std::memory_order_release);
+            if (!wait(node))
+                return Outcome::kInvalid;
+            out = Outcome::kAcquiredWaited;
+        } else {
+            // Predecessor is an *active* reader: join it immediately.
+            reader_count_.fetch_add(1, std::memory_order_seq_cst);
+            pred->next.store(&node, std::memory_order_release);
+            node.state.fetch_or(kGoBit, std::memory_order_acq_rel);
+            out = Outcome::kAcquiredWaited;
+        }
+        propagate_reader_grant(node);
+        return out;
+    }
+
+    /// Exclusive-acquisition body, parameterized like start_read_with.
+    template <typename Waiter>
+    Outcome start_write_with(Node& node, Waiter&& wait)
+    {
+        node.kind = Kind::kWriter;
+        node.next.store(nullptr, std::memory_order_relaxed);
+        node.state.store(0, std::memory_order_relaxed);
+        Node* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+        if (pred == invalid_tail()) {
+            invalidate(&node);
+            return Outcome::kInvalid;
+        }
+        if (pred == nullptr) {
+            if (dekker_claim_empty(node))
+                return Outcome::kAcquiredEmpty;
+            return wait(node) ? Outcome::kAcquiredWaited : Outcome::kInvalid;
+        }
+        pred->state.fetch_or(kSuccWriterBit, std::memory_order_release);
+        pred->next.store(&node, std::memory_order_release);
+        return wait(node) ? Outcome::kAcquiredWaited : Outcome::kInvalid;
+    }
+
     /// Spins on the node's own state word; true = GO, false = INVALID.
     bool wait_for_signal(Node& node)
     {
@@ -445,6 +484,19 @@ class QueueRwLock {
         while (((s = node.state.load(std::memory_order_acquire)) &
                 (kGoBit | kInvalidBit)) == 0)
             P::pause();
+        return (s & kGoBit) != 0;
+    }
+
+    /// Site-dispatched twin of wait_for_signal (pure predicate: the
+    /// grant/invalid bits are pushed into the node by others).
+    template <typename Site, typename Result>
+    bool wait_for_signal(Node& node, Site& site, Result& wr)
+    {
+        std::uint32_t s = 0;
+        wr = site.await([&] {
+            return ((s = node.state.load(std::memory_order_acquire)) &
+                    (kGoBit | kInvalidBit)) != 0;
+        });
         return (s & kGoBit) != 0;
     }
 

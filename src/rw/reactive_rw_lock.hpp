@@ -56,6 +56,7 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "audit/audit.hpp"
 #include "core/cost_model.hpp"
@@ -68,6 +69,7 @@
 #include "rw/rw_concepts.hpp"
 #include "rw/simple_rw_lock.hpp"
 #include "trace/instrument.hpp"
+#include "waiting/reactive/wait_site.hpp"
 
 namespace reactive {
 
@@ -94,12 +96,30 @@ struct ReactiveRwLockParams {
  * SelectAdapter with their historical call sequence (bit-compatible
  * decisions), and Mode values are the protocol indices.
  *
- * @tparam P      Platform model.
- * @tparam Policy switching policy (Section 3.4): a binary SwitchPolicy
- *                or a two-protocol SelectPolicy; shared with the
- *                reactive mutex.
+ * The second, orthogonal selection axis is *how to wait*
+ * (waiting/reactive/): with Waiting = ParkWaiting the slow paths of
+ * both protocols dispatch through one lock-level WaitSite on the
+ * writer-published wait hint (spin / two-phase / park). The same
+ * consensus discipline governs it — only the departing *writer* (full
+ * exclusivity) feeds the WaitSelectPolicy and republishes the hint;
+ * readers merely obey it. Every operation that stores a grant or
+ * invalid bit, or frees the simple word, broadcasts on the site
+ * afterwards (end_read's writer handoff, end_write's succession,
+ * propagate_reader_grant via start_read, invalidation walks, simple
+ * releases), so a parked waiter is always re-checked awake.
+ *
+ * @tparam P          Platform model.
+ * @tparam Policy     switching policy (Section 3.4): a binary
+ *                    SwitchPolicy or a two-protocol SelectPolicy;
+ *                    shared with the reactive mutex.
+ * @tparam Waiting    SpinWaiting (default; byte-identical to the
+ *                    pre-subsystem lock) or ParkWaiting.
+ * @tparam WaitPolicy WaitSelectPolicy choosing the waiting mode
+ *                    (ParkWaiting instantiations only).
  */
-template <Platform P, typename Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveRwLock {
   public:
     /// The select-interface view of the policy parameter.
@@ -127,6 +147,13 @@ class ReactiveRwLock {
         typename QueueRwLock<P>::Node qnode;
         ReleaseMode rm{ReleaseMode::kSimple};
     };
+
+    /// The lock-level waiting site for this Waiting tag.
+    using Site = WaitSite<P, Waiting>;
+    /// Whether slow-path waits may park (ParkWaiting instantiations).
+    static constexpr bool kParking = Site::kParking;
+
+    static_assert(WaitSelectPolicy<WaitPolicy>);
 
     ReactiveRwLock() : ReactiveRwLock(ReactiveRwLockParams{}, Policy{}) {}
 
@@ -164,7 +191,7 @@ class ReactiveRwLock {
                 }
                 m = Mode::kQueue;
             } else {
-                if (queue_.start_read(n.qnode) !=
+                if (start_read_queue(n) !=
                     QueueRwLock<P>::Outcome::kInvalid) {
                     n.rm = ReleaseMode::kQueue;
                     return;
@@ -180,6 +207,9 @@ class ReactiveRwLock {
             simple_.unlock_read();
         else
             queue_.end_read(n.qnode);
+        // A leaving reader may free the simple word for a parked
+        // writer, or (last of its group) grant the queue's next writer.
+        wake_waiters();
     }
 
     void lock_write(Node& n)
@@ -199,6 +229,7 @@ class ReactiveRwLock {
                 select_.on_tts_fast_acquire();
             if constexpr (kSocketAware)
                 (void)note_writer_socket();  // still the new writer
+            stamp_hold();
             REACTIVE_TRACE_EVENT(trace::EventType::kFastAcquire,
                                  trace::ObjectClass::kRwLock, trace_id_,
                                  kSimpleIndex, kSimpleIndex, P::now());
@@ -225,6 +256,11 @@ class ReactiveRwLock {
 
     void unlock_write(Node& n)
     {
+        // Waiting-mode selection happens first, while still holding
+        // full exclusivity: fold this hold's span and the free
+        // queue-depth signal into the wait policy and publish the new
+        // hint, so the waiters this release signals dispatch under it.
+        update_wait_policy();
         switch (n.rm) {
         case ReleaseMode::kSimple:
             simple_.unlock_write();
@@ -239,6 +275,10 @@ class ReactiveRwLock {
             release_queue_to_simple(n);
             break;
         }
+        // Parking wake rule: every condition-changing store above
+        // (simple word free, queue grant, mode flip, invalidation walk)
+        // is followed here, in the same thread, by a site broadcast.
+        wake_waiters();
     }
 
     // ---- std-facade hooks (one-shot tries; see reactive_shared_mutex)
@@ -256,11 +296,13 @@ class ReactiveRwLock {
             SimpleRwLock<P>::Attempt::kAcquired) {
             if constexpr (FastPathAwareSelect<Select>)
                 select_.on_tts_fast_acquire();
+            stamp_hold();
             n.rm = ReleaseMode::kSimple;
             return true;
         }
         if (mode() == Mode::kQueue &&
             queue_.try_start_write(n.qnode) != QueueRwLock<P>::Outcome::kInvalid) {
+            stamp_hold();
             n.rm = ReleaseMode::kQueue;
             return true;
         }
@@ -278,6 +320,9 @@ class ReactiveRwLock {
         }
         if (mode() == Mode::kQueue &&
             queue_.try_start_read(n.qnode) != QueueRwLock<P>::Outcome::kInvalid) {
+            // The empty-tail win may have propagated a grant to a
+            // parked successor reader.
+            wake_waiters();
             n.rm = ReleaseMode::kQueue;
             return true;
         }
@@ -309,6 +354,16 @@ class ReactiveRwLock {
             return select_.underlying();
     }
 
+    /// Wait-policy state access (in-consensus callers only).
+    WaitPolicy& wait_policy()
+        requires kParking
+    {
+        return wstate_.policy;
+    }
+
+    /// The packed wait hint currently published to waiters (tests).
+    std::uint32_t wait_hint() const { return wsite_.hint(); }
+
   private:
     using Attempt = typename SimpleRwLock<P>::Attempt;
     using QOutcome = typename QueueRwLock<P>::Outcome;
@@ -334,111 +389,195 @@ class ReactiveRwLock {
 
     /// Simple-protocol read acquisition: spin with backoff while a
     /// writer is inside; false if the protocol was retired or the hint
-    /// moved on (caller retries with the queue protocol).
+    /// moved on (caller retries with the queue protocol). Parking
+    /// instantiations dispatch through the site instead: the predicate
+    /// *is* the acquisition attempt, aborting on retirement or a mode
+    /// change, and the freeing writer's release broadcast re-checks us.
+    /// Readers never feed the wait policy (no consensus), so the wait
+    /// cost is traced but not folded into the estimators.
     bool try_read_simple()
     {
-        ExpBackoff<P> backoff(params_.backoff);
-        for (;;) {
-            switch (simple_.try_lock_read()) {
-            case Attempt::kAcquired:
-                return true;
-            case Attempt::kInvalid:
-                return false;
-            case Attempt::kBusy:
-                break;
+        if constexpr (kParking) {
+            // The spin build's backoff paces spin-mode polling: the
+            // predicate hits the contended reader count (see
+            // try_acquire_tts in reactive_lock.hpp).
+            ExpBackoff<P> backoff(params_.backoff);
+            bool acquired = false;
+            const AwaitResult wr = wsite_.await([&] {
+                switch (simple_.try_lock_read()) {
+                case Attempt::kAcquired:
+                    acquired = true;
+                    return true;
+                case Attempt::kInvalid:
+                    return true;
+                case Attempt::kBusy:
+                    break;
+                }
+                return mode_.value.load(std::memory_order_relaxed) !=
+                       static_cast<std::uint32_t>(Mode::kSimple);
+            }, [&] { backoff.pause(); });
+            note_read_waited(wr);
+            return acquired;
+        } else {
+            ExpBackoff<P> backoff(params_.backoff);
+            for (;;) {
+                switch (simple_.try_lock_read()) {
+                case Attempt::kAcquired:
+                    return true;
+                case Attempt::kInvalid:
+                    return false;
+                case Attempt::kBusy:
+                    break;
+                }
+                backoff.pause();
+                if (mode_.value.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint32_t>(Mode::kSimple))
+                    return false;
             }
-            backoff.pause();
-            if (mode_.value.load(std::memory_order_relaxed) !=
-                static_cast<std::uint32_t>(Mode::kSimple))
-                return false;
+        }
+    }
+
+    /// Queue-protocol read acquisition: plain in spin builds; in
+    /// parking builds the blocked branch dispatches through the site
+    /// (pure predicate — the grant is pushed into the node), and a
+    /// success broadcasts because propagate_reader_grant may have
+    /// granted a parked successor reader.
+    QOutcome start_read_queue(Node& n)
+    {
+        if constexpr (kParking) {
+            AwaitResult wr{};
+            const QOutcome out = queue_.start_read(n.qnode, wsite_, wr);
+            // Success may have propagated a grant; failure dismantled a
+            // bogus chain, storing INVALID into parked waiters.
+            wake_waiters();
+            note_read_waited(wr);
+            return out;
+        } else {
+            return queue_.start_read(n.qnode);
         }
     }
 
     /// Simple-protocol write acquisition: spin with backoff, count
     /// failed attempts, and feed the policy on success (the caller then
     /// holds full exclusivity, so policy state is safe to touch).
+    /// Parking instantiations run the attempt loop as the site
+    /// predicate (abortable acquiring predicate, as in the reactive
+    /// mutex's TTS slow path); the winner then reports its measured
+    /// wake latency — it holds full exclusivity, so the single-writer
+    /// wait policy is safe to feed.
     std::optional<ReleaseMode> try_write_simple()
     {
         const std::uint64_t start = kCalibrating ? P::now() : 0;
-        ExpBackoff<P> backoff(params_.backoff);
         std::uint32_t retries = 0;
-        for (;;) {
-            switch (simple_.try_lock_write()) {
-            case Attempt::kAcquired: {
-                const bool contended = retries > params_.write_retry_limit;
-                const ProtocolSignal sig{kSimpleIndex, contended ? +1 : 0};
-                const trace::ProbeWatch<Select> probe(select_,
-                                                      trace::enabled());
-                [[maybe_unused]] std::uint64_t cycles = 0;
-                std::uint32_t next;
-                if constexpr (kCalibrating) {
-                    // Sample only clean classes (immediate or past the
-                    // retry limit); mid-spin wins measure waiting, not
-                    // protocol cost (see cost_model.hpp).
-                    if (contended || retries == 0) {
-                        cycles = P::now() - start;
-                        if constexpr (kSocketAware)
-                            next = select_.next_protocol(
-                                sig, cycles, note_writer_socket());
-                        else
-                            next = select_.next_protocol(sig, cycles);
-                    } else {
-                        if constexpr (kSocketAware)
-                            (void)note_writer_socket();
-                        next = select_.next_protocol(sig);
-                    }
-                } else {
-                    next = select_.next_protocol(sig);
+        if constexpr (kParking) {
+            // Same contended-line pacing as try_read_simple.
+            ExpBackoff<P> backoff(params_.backoff);
+            bool acquired = false;
+            bool retired = false;
+            const AwaitResult wr = wsite_.await([&] {
+                switch (simple_.try_lock_write()) {
+                case Attempt::kAcquired:
+                    acquired = true;
+                    return true;
+                case Attempt::kInvalid:
+                    retired = true;
+                    return true;
+                case Attempt::kBusy:
+                    ++retries;
+                    break;
                 }
-                if constexpr (trace::kCompiled) {
-                    if (trace::enabled()) [[unlikely]] {
-                        const std::uint64_t ts = P::now();
-                        trace::emit(trace::EventType::kAcqSample,
-                                    trace::ObjectClass::kRwLock, trace_id_,
-                                    kSimpleIndex,
-                                    static_cast<std::uint8_t>(next), ts,
-                                    cycles,
-                                    trace::pack_signal(sig.protocol,
-                                                       sig.drift));
-                        probe.emit_edges(select_,
-                                         trace::ObjectClass::kRwLock,
-                                         trace_id_, kSimpleIndex,
-                                         static_cast<std::uint8_t>(next),
-                                         ts);
-                        if constexpr (kCalibrating) {
-                            if (cycles > 0) {
-                                if (const auto best =
-                                        audit::best_alternative(
-                                            select_, kProtocols)) {
-                                    const std::uint64_t regret =
-                                        audit::record(
-                                            trace::ObjectClass::kRwLock,
-                                            trace_id_, cycles, *best);
-                                    trace::emit(
-                                        trace::EventType::kRegret,
+                if (mode_.value.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint32_t>(Mode::kSimple)) {
+                    retired = true;
+                    return true;
+                }
+                return false;
+            }, [&] { backoff.pause(); });
+            (void)retired;
+            if (!acquired)
+                return std::nullopt;
+            note_write_waited(wr);
+            return write_simple_acquired(retries, start);
+        } else {
+            ExpBackoff<P> backoff(params_.backoff);
+            for (;;) {
+                switch (simple_.try_lock_write()) {
+                case Attempt::kAcquired:
+                    return write_simple_acquired(retries, start);
+                case Attempt::kInvalid:
+                    return std::nullopt;
+                case Attempt::kBusy:
+                    ++retries;
+                    break;
+                }
+                backoff.pause();
+                if (mode_.value.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint32_t>(Mode::kSimple))
+                    return std::nullopt;
+            }
+        }
+    }
+
+    /// Bookkeeping common to every successful simple-protocol write
+    /// acquisition (the caller holds full exclusivity).
+    ReleaseMode write_simple_acquired(std::uint32_t retries,
+                                      std::uint64_t start)
+    {
+        stamp_hold();
+        const bool contended = retries > params_.write_retry_limit;
+        const ProtocolSignal sig{kSimpleIndex, contended ? +1 : 0};
+        const trace::ProbeWatch<Select> probe(select_, trace::enabled());
+        [[maybe_unused]] std::uint64_t cycles = 0;
+        std::uint32_t next;
+        if constexpr (kCalibrating) {
+            // Sample only clean classes (immediate or past the retry
+            // limit); mid-spin wins measure waiting, not protocol cost
+            // (see cost_model.hpp).
+            if (contended || retries == 0) {
+                cycles = P::now() - start;
+                if constexpr (kSocketAware)
+                    next = select_.next_protocol(sig, cycles,
+                                                 note_writer_socket());
+                else
+                    next = select_.next_protocol(sig, cycles);
+            } else {
+                if constexpr (kSocketAware)
+                    (void)note_writer_socket();
+                next = select_.next_protocol(sig);
+            }
+        } else {
+            next = select_.next_protocol(sig);
+        }
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]] {
+                const std::uint64_t ts = P::now();
+                trace::emit(trace::EventType::kAcqSample,
+                            trace::ObjectClass::kRwLock, trace_id_,
+                            kSimpleIndex, static_cast<std::uint8_t>(next),
+                            ts, cycles,
+                            trace::pack_signal(sig.protocol, sig.drift));
+                probe.emit_edges(select_, trace::ObjectClass::kRwLock,
+                                 trace_id_, kSimpleIndex,
+                                 static_cast<std::uint8_t>(next), ts);
+                if constexpr (kCalibrating) {
+                    if (cycles > 0) {
+                        if (const auto best = audit::best_alternative(
+                                select_, kProtocols)) {
+                            const std::uint64_t regret = audit::record(
+                                trace::ObjectClass::kRwLock, trace_id_,
+                                cycles, *best);
+                            trace::emit(trace::EventType::kRegret,
                                         trace::ObjectClass::kRwLock,
                                         trace_id_, kSimpleIndex,
                                         static_cast<std::uint8_t>(next),
                                         ts, cycles, *best, regret);
-                                }
-                            }
                         }
                     }
                 }
-                return next != kSimpleIndex ? ReleaseMode::kSimpleToQueue
-                                            : ReleaseMode::kSimple;
             }
-            case Attempt::kInvalid:
-                return std::nullopt;
-            case Attempt::kBusy:
-                ++retries;
-                break;
-            }
-            backoff.pause();
-            if (mode_.value.load(std::memory_order_relaxed) !=
-                static_cast<std::uint32_t>(Mode::kSimple))
-                return std::nullopt;
         }
+        return next != kSimpleIndex ? ReleaseMode::kSimpleToQueue
+                                    : ReleaseMode::kSimple;
     }
 
     /// Queue-protocol write acquisition; an empty queue signals low
@@ -446,9 +585,23 @@ class ReactiveRwLock {
     std::optional<ReleaseMode> try_write_queue(Node& n)
     {
         const std::uint64_t start = kCalibrating ? P::now() : 0;
-        const QOutcome outcome = queue_.start_write(n.qnode);
-        if (outcome == QOutcome::kInvalid)
-            return std::nullopt;
+        QOutcome outcome;
+        if constexpr (kParking) {
+            AwaitResult wr{};
+            outcome = queue_.start_write(n.qnode, wsite_, wr);
+            if (outcome == QOutcome::kInvalid) {
+                // Enqueuing onto a retired tail dismantles the bogus
+                // chain we headed, storing INVALID into parked waiters.
+                wake_waiters();
+                return std::nullopt;
+            }
+            note_write_waited(wr);
+        } else {
+            outcome = queue_.start_write(n.qnode);
+            if (outcome == QOutcome::kInvalid)
+                return std::nullopt;
+        }
+        stamp_hold();
         const bool empty = outcome == QOutcome::kAcquiredEmpty;
         const ProtocolSignal sig{kQueueIndex, empty ? -1 : 0};
         const trace::ProbeWatch<Select> probe(select_, trace::enabled());
@@ -556,6 +709,124 @@ class ReactiveRwLock {
         simple_.validate_free();
     }
 
+    // ---- waiting-mode selection (ParkWaiting instantiations only) ----
+
+    /// Park-axis writer state; the empty stand-in keeps SpinWaiting
+    /// object layout (and code) identical to the pre-subsystem lock.
+    struct ParkWaitState {
+        WaitPolicy policy{};
+        std::uint64_t hold_start = 0;  ///< stamped at every write acquire
+    };
+    struct NoWaitState {};
+    using WaitState = std::conditional_t<kParking, ParkWaitState, NoWaitState>;
+
+    /// Every successful *write* acquisition stamps the hold start so
+    /// the departing writer can report its span for free. Readers hold
+    /// no exclusivity and never stamp.
+    void stamp_hold()
+    {
+        if constexpr (kParking)
+            wstate_.hold_start = P::now();
+    }
+
+    /// Broadcast on the lock-level site (no-op in spin builds). The
+    /// trace counter mirrors the reactive mutex's kWake emission.
+    void wake_waiters()
+    {
+        if constexpr (kParking) {
+            if constexpr (trace::kCompiled) {
+                if (trace::enabled()) [[unlikely]] {
+                    const std::uint32_t w = wsite_.waiters();
+                    if (w > 0)
+                        trace::emit(trace::EventType::kWake,
+                                    trace::ObjectClass::kRwLock, trace_id_,
+                                    0, 0, P::now(), w);
+                }
+            }
+            wsite_.wake_all();
+        }
+    }
+
+    /// A slow-path *writer* reports how it waited. Called only once the
+    /// caller holds full exclusivity, so feeding the measured wake
+    /// latency to the (single-writer) wait policy is in-consensus.
+    void note_write_waited(const AwaitResult& wr)
+    {
+        if constexpr (kParking) {
+            if (!wr.blocked)
+                return;
+            if (wr.wake_latency != 0)
+                wstate_.policy.note_wake_latency(wr.wake_latency);
+            trace_park(wr);
+        }
+    }
+
+    /// A slow-path *reader* reports how it waited: trace only — readers
+    /// are never in consensus, so the wait policy is left untouched.
+    void note_read_waited(const AwaitResult& wr)
+    {
+        if constexpr (kParking) {
+            if (wr.blocked)
+                trace_park(wr);
+        }
+    }
+
+    void trace_park(const AwaitResult& wr)
+    {
+        if constexpr (trace::kCompiled) {
+            if (trace::enabled()) [[unlikely]] {
+                const auto m = static_cast<std::uint8_t>(
+                    unpack_wait_hint(wsite_.hint()).mode);
+                trace::emit(trace::EventType::kPark,
+                            trace::ObjectClass::kRwLock, trace_id_, m, m,
+                            P::now(), wr.wait_cycles, wr.wake_latency);
+            }
+        }
+    }
+
+    /// Departing writer (full exclusivity): fold this hold's span and
+    /// the free queue-depth signal into the wait policy, publish the
+    /// new hint, and mirror the signal into a wait-aware protocol
+    /// policy.
+    void update_wait_policy()
+    {
+        if constexpr (kParking) {
+            WaitSignal ws;
+            const std::uint64_t now = P::now();
+            ws.hold_cycles =
+                now > wstate_.hold_start ? now - wstate_.hold_start : 0;
+            ws.queue_depth = wsite_.waiters();
+            ws.now_cycles = now;
+            const auto old_mode = static_cast<std::uint8_t>(
+                unpack_wait_hint(wstate_.policy.hint()).mode);
+            const std::uint32_t h = wstate_.policy.on_release(ws);
+            const auto new_mode =
+                static_cast<std::uint8_t>(unpack_wait_hint(h).mode);
+            wsite_.set_hint(h);
+            if constexpr (WaitAwareSelect<Select>)
+                select_.on_wait_signal(ws);
+            if constexpr (trace::kCompiled) {
+                if (new_mode != old_mode && trace::enabled()) [[unlikely]] {
+                    std::uint64_t ests = 0;
+                    std::uint64_t ew = 0;
+                    if constexpr (requires {
+                                      wstate_.policy.hold_estimate();
+                                      wstate_.policy.block_estimate();
+                                      wstate_.policy.expected_wait();
+                                  }) {
+                        ests = (wstate_.policy.hold_estimate() << 32) |
+                               (wstate_.policy.block_estimate() &
+                                0xffffffffull);
+                        ew = wstate_.policy.expected_wait();
+                    }
+                    trace::emit(trace::EventType::kWaitModeSwitch,
+                                trace::ObjectClass::kRwLock, trace_id_,
+                                old_mode, new_mode, P::now(), h, ests, ew);
+                }
+            }
+        }
+    }
+
     // The mode hint lives on its own (mostly-read) cache line, separate
     // from the frequently written protocol words (Section 3.2.6).
     CacheAligned<typename P::template Atomic<std::uint32_t>> mode_;
@@ -568,6 +839,10 @@ class ReactiveRwLock {
     // Socket of the previous writer (socket-aware policies only;
     // mutated only by writers, under full exclusivity).
     SocketHandoffTracker<P> writer_socket_;
+    // Waiting-mode state: both empty (and branch-free above) for
+    // SpinWaiting instantiations.
+    [[no_unique_address]] Site wsite_;
+    [[no_unique_address]] WaitState wstate_;
     // Trace identity (0 when tracing is compiled out). Unconditional
     // member so object layout is identical in both build modes.
     std::uint32_t trace_id_ = trace::new_object(trace::ObjectClass::kRwLock);

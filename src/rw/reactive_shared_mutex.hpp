@@ -34,13 +34,18 @@ namespace reactive {
 /**
  * std::shared_mutex-shaped reactive reader-writer mutex.
  *
- * @tparam P      Platform model.
- * @tparam Policy switching policy, as for ReactiveRwLock.
+ * @tparam P          Platform model.
+ * @tparam Policy     switching policy, as for ReactiveRwLock.
+ * @tparam Waiting    waiting axis (SpinWaiting / ParkWaiting), as for
+ *                    ReactiveRwLock.
+ * @tparam WaitPolicy waiting-mode policy, as for ReactiveRwLock.
  */
-template <Platform P, typename Policy = AlwaysSwitchPolicy>
+template <Platform P, typename Policy = AlwaysSwitchPolicy,
+          typename Waiting = SpinWaiting,
+          typename WaitPolicy = CalibratedWaitPolicy>
 class ReactiveSharedMutex {
   public:
-    using RwLock = ReactiveRwLock<P, Policy>;
+    using RwLock = ReactiveRwLock<P, Policy, Waiting, WaitPolicy>;
 
     ReactiveSharedMutex() = default;
     explicit ReactiveSharedMutex(ReactiveRwLockParams params,

@@ -287,7 +287,31 @@ void Machine::step(std::uint32_t pi)
     if (p.contexts.empty())
         return;  // nothing runnable yet (future message/ready time)
 
+    // Preemptive quantum (oversubscription): when unloaded runnable
+    // threads are queued behind a full set of hardware contexts, bound
+    // how long the resident thread may run before the "OS" forcibly
+    // deschedules it. With preempt_quantum == 0 (default) no deadline
+    // exists and this whole block is inert — run_until_ and the
+    // post-resume dispatch below are bit-identical to the cooperative
+    // scheduler.
     p.cur %= p.contexts.size();
+    std::uint64_t preempt_at = kNever;
+    if (costs_.preempt_quantum != 0 && !p.ready.empty() &&
+        p.contexts.size() >= costs_.hardware_contexts) {
+        // The deadline belongs to the resident thread, not to this
+        // step: it is set once when the thread starts running against
+        // a non-empty ready queue and survives scheduler bounces, so
+        // the quantum measures accumulated run time.
+        if (p.quantum_owner != p.contexts[p.cur]) {
+            p.quantum_owner = p.contexts[p.cur];
+            p.quantum_deadline = p.clock + costs_.preempt_quantum;
+        }
+        preempt_at = p.quantum_deadline;
+        run_until_ = std::min(run_until_, preempt_at);
+    } else {
+        p.quantum_owner = nullptr;
+    }
+
     SimThread* t = p.contexts[p.cur];
     t->state_ = SimThread::State::kRunning;
     running_ = t;
@@ -305,6 +329,26 @@ void Machine::step(std::uint32_t pi)
             p.cur = 0;
     } else if (t->state_ == SimThread::State::kRunning) {
         t->state_ = SimThread::State::kReady;
+        if (preempt_at != kNever && p.clock >= preempt_at &&
+            !p.ready.empty()) {
+            // Quantum expired with runnable threads still waiting for a
+            // context: pay the unload and requeue behind them. The
+            // thread re-pays thread_reload when its turn comes back —
+            // together the round-trip is the involuntary-switch cost an
+            // oversubscribed spinner keeps paying.
+            auto it = std::find(p.contexts.begin(), p.contexts.end(), t);
+            assert(it != p.contexts.end());
+            p.contexts.erase(it);
+            t->loaded_ = false;
+            if (p.cur >= p.contexts.size())
+                p.cur = 0;
+            p.clock += costs_.thread_unload;
+            t->state_ = SimThread::State::kReady;
+            t->ready_at_ = p.clock;
+            p.ready.push_back(t);
+            p.quantum_owner = nullptr;
+            ++stats_.preemptions;
+        }
     }
 }
 
@@ -412,6 +456,7 @@ void Machine::make_ready(SimThread* t, std::uint64_t when)
 std::uint32_t SimWaitQueue::prepare_wait()
 {
     Machine* m = current_machine();
+    ++advertised_;
     if (m != nullptr)
         m->charge(m->costs().wait_queue_op);
     return epoch_;
@@ -420,6 +465,8 @@ std::uint32_t SimWaitQueue::prepare_wait()
 void SimWaitQueue::cancel_wait()
 {
     Machine* m = current_machine();
+    assert(advertised_ > 0 && "cancel_wait without prepare_wait");
+    --advertised_;
     if (m != nullptr)
         m->charge(2);
 }
@@ -427,9 +474,13 @@ void SimWaitQueue::cancel_wait()
 void SimWaitQueue::commit_wait(std::uint32_t epoch)
 {
     Machine* m = current_machine();
-    if (m == nullptr)
+    assert(advertised_ > 0 && "commit_wait without prepare_wait");
+    if (m == nullptr) {
+        --advertised_;
         return;  // nothing can block outside a simulation
+    }
     if (epoch_ != epoch) {
+        --advertised_;
         m->charge(2);
         return;
     }
@@ -438,10 +489,16 @@ void SimWaitQueue::commit_wait(std::uint32_t epoch)
     // Pay the unload cost (Table 4.1), then re-check: the epoch may have
     // moved while we were being charged.
     m->charge(m->costs().thread_unload);
-    if (epoch_ != epoch)
+    if (epoch_ != epoch) {
+        --advertised_;
         return;
+    }
     waiters_.push_back(self);
     m->block_current();
+    // Retract the advertisement only now that the wait completed,
+    // exactly as the native commit_wait decrements after its wake
+    // loop: a releaser consulting waiters() while we slept counted us.
+    --advertised_;
 }
 
 void SimWaitQueue::notify_one()
@@ -456,9 +513,12 @@ void SimWaitQueue::notify_one()
         m->charge(m->costs().wait_queue_op);
         return;
     }
-    m->charge(m->costs().thread_reenable);
+    // Pop before charging: the charge may yield this fiber (e.g. a
+    // preemption), and a concurrent notifier that drains the deque in
+    // that window must not leave us reading a stale front().
     SimThread* t = waiters_.front();
     waiters_.pop_front();
+    m->charge(m->costs().thread_reenable);
     std::uint64_t when = m->cycles(current_cpu());
     if (t->proc() != current_cpu())
         when += m->costs().msg_latency;
@@ -483,11 +543,15 @@ void SimWaitQueue::notify_all()
     // block while we drain — and with back-to-back waits (e.g. barrier
     // episodes) those re-block faster than the drain empties, leaving
     // the notifier reenabling forever.
+    // Pop before charging (as in notify_one): each reenable charge may
+    // yield this fiber — a preempted notifier can interleave with the
+    // next holder's broadcast on the same site — and the concurrent
+    // drain must never double-wake a waiter or read a stale front().
     std::size_t present = waiters_.size();
     while (present-- > 0 && !waiters_.empty()) {
-        m->charge(m->costs().thread_reenable);
         SimThread* t = waiters_.front();
         waiters_.pop_front();
+        m->charge(m->costs().thread_reenable);
         std::uint64_t when = m->cycles(current_cpu());
         if (t->proc() != current_cpu())
             when += m->costs().msg_latency;

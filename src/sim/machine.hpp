@@ -96,6 +96,21 @@ struct CostModel {
     std::uint32_t spawn_cost = 50;        ///< creating a thread in-sim
     std::uint32_t wait_queue_op = 13;     ///< lock queue of blocked threads
 
+    // -- preemptive scheduling (oversubscription) ---------------------
+    // With more threads than hardware contexts a spinning resident
+    // thread would otherwise never yield the processor to the unloaded
+    // runnable threads behind it — exactly the pathology reactive
+    // waiting exists to avoid, but the simulator must be able to
+    // *run* always-spin under oversubscription to measure it. A
+    // nonzero quantum deschedules the running thread (charging
+    // thread_unload, then thread_reload when its turn returns) once it
+    // has run preempt_quantum cycles while unloaded runnable threads
+    // wait. 0 — the default — disables preemption entirely: no
+    // deadline is computed and the scheduler is bit-identical to the
+    // pre-quantum machine (the park-free identity argument, like the
+    // flat-topology terms above).
+    std::uint32_t preempt_quantum = 0;    ///< cycles; 0 = cooperative
+
     /// Simulated 33 MHz Alewife, LimitLESS_5 directory (the default).
     static CostModel alewife() { return CostModel{}; }
 
@@ -148,6 +163,7 @@ struct MachineStats {
     std::uint64_t blocks = 0;
     std::uint64_t wakes = 0;
     std::uint64_t threads_spawned = 0;
+    std::uint64_t preemptions = 0;  ///< quantum-expiry deschedules
 };
 
 class Machine;
@@ -234,8 +250,21 @@ class SimWaitQueue {
     void notify_one();
     void notify_all();
 
+    /// Count of *advertised* waiters — incremented by prepare_wait,
+    /// retracted by cancel_wait or when a committed wait completes.
+    /// This mirrors the native eventcounts' waiters() exactly (their
+    /// counter also moves at prepare, not at the futex sleep), so a
+    /// releaser consulting the count sees waiters that are still
+    /// between prepare_wait and commit_wait — the window in which
+    /// skipping a notify (and its epoch bump) would strand them on the
+    /// stale snapshot. Free host read; also the holder's queue-depth
+    /// signal. In the sequential simulation the read is exact, not
+    /// advisory.
+    std::uint32_t waiters() const { return advertised_; }
+
   private:
     std::uint32_t epoch_ = 0;
+    std::uint32_t advertised_ = 0;
     std::deque<SimThread*> waiters_;
 };
 
@@ -353,6 +382,14 @@ class Machine {
         std::size_t cur = 0;
         std::deque<SimThread*> ready;      ///< unloaded runnable threads
         std::priority_queue<Message, std::vector<Message>, std::greater<>> msgs;
+        /// Preemption bookkeeping (preempt_quantum != 0 only): the
+        /// resident thread whose quantum is running and its absolute
+        /// expiry. Persisted across scheduler bounces — a step() that
+        /// resumes the same thread must not restart the clock, or a
+        /// spinner bounced by other-processor events more often than
+        /// the quantum is never preempted at all.
+        SimThread* quantum_owner = nullptr;
+        std::uint64_t quantum_deadline = 0;
     };
 
     static constexpr std::uint64_t kNever = ~std::uint64_t{0};

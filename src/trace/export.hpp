@@ -25,6 +25,15 @@
  *   kRegret     a0 = realized cost, a1 = estimator's best-alternative
  *               cost, a2 = regret (max(0, a0 - a1)); from = protocol
  *               that paid, to = policy's next protocol
+ *   kPark       a0 = wait cycles, a1 = measured wake latency (0 = not
+ *               chained to a stamped release); from = WaitMode waited
+ *               under (waiter-local, emitted after the wait ends)
+ *   kWake       a0 = advisory parked-waiter count at the broadcast
+ *   kWaitModeSwitch
+ *               from/to = old/new WaitMode; a0 = packed new hint
+ *               (wait_select.hpp layout), a1 = (hold EWMA << 32) |
+ *               (block-cost EWMA & 0xffffffff), a2 = expected wait —
+ *               the estimator snapshot behind the decision
  */
 #pragma once
 
@@ -114,6 +123,19 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
             os << ", \"realized\": " << e.a0 << ", \"best\": " << e.a1
                << ", \"regret\": " << e.a2;
             break;
+        case EventType::kPark:
+            os << ", \"wait_cycles\": " << e.a0
+               << ", \"wake_latency\": " << e.a1;
+            break;
+        case EventType::kWake:
+            os << ", \"woken\": " << e.a0;
+            break;
+        case EventType::kWaitModeSwitch:
+            os << ", \"hint\": " << e.a0
+               << ", \"hold_est\": " << (e.a1 >> 32)
+               << ", \"block_est\": " << (e.a1 & 0xffffffffu)
+               << ", \"expected_wait\": " << e.a2;
+            break;
         default:
             os << ", \"a0\": " << e.a0;
             break;
@@ -152,6 +174,9 @@ inline void write_chrome_json(std::ostream& os, const Capture& cap)
            << ", \"handoffs\": " << r.counters[7]
            << ", \"aborts\": " << r.counters[8]
            << ", \"regret_samples\": " << r.counters[9]
+           << ", \"parks\": " << r.counters[10]
+           << ", \"wakes\": " << r.counters[11]
+           << ", \"wait_mode_switches\": " << r.counters[12]
            << ", \"regret_cycles\": " << r.regret_cycles
            << ", \"regret_realized\": " << r.regret_realized
            << ", \"regret_best\": " << r.regret_best

@@ -64,6 +64,12 @@ inline const char* type_name(EventType t)
         return "cohort_abort";
     case EventType::kRegret:
         return "regret";
+    case EventType::kPark:
+        return "park";
+    case EventType::kWake:
+        return "wake";
+    case EventType::kWaitModeSwitch:
+        return "wait_mode_switch";
     default:
         return "none";
     }
@@ -151,6 +157,8 @@ class MetricsRegistry {
                << " handoffs=" << r.counters[7] << " aborts="
                << r.counters[8] << " regret_samples=" << r.counters[9]
                << " regret_cycles=" << r.regret_cycles
+               << " parks=" << r.counters[10] << " wakes=" << r.counters[11]
+               << " wait_switches=" << r.counters[12]
                << " dropped=" << r.dropped << "\n";
             if (r.latency.stats().count() > 0)
                 os << "    latency p50=" << r.latency.percentile(0.50)

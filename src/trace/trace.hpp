@@ -71,6 +71,9 @@ enum class EventType : std::uint8_t {
     kCohortHandoff = 8,  ///< budget exhausted: global handoff
     kCohortAbort = 9,    ///< protocol retired: waiters woken INVALID
     kRegret = 10,        ///< counterfactual regret sample (src/audit/)
+    kPark = 11,          ///< a wait reached the parked phase (waiter-local)
+    kWake = 12,          ///< a release broadcast to a parking site
+    kWaitModeSwitch = 13,  ///< holder changed the wait-mode hint
 };
 
 /// Object class of the emitting primitive (drop accounting is per class).
@@ -107,8 +110,11 @@ enum class Metric : std::uint8_t {
     kHandoffs = 7,
     kAborts = 8,
     kRegretSamples = 9,
+    kParks = 10,
+    kWakes = 11,
+    kWaitModeSwitches = 12,
 };
-inline constexpr std::size_t kMetricCount = 10;
+inline constexpr std::size_t kMetricCount = 13;
 
 /**
  * Lock-free drop-oldest SPSC ring of trace events.
@@ -317,6 +323,15 @@ class TraceRing {
             break;
         case EventType::kRegret:
             bump(e.cls, Metric::kRegretSamples);
+            break;
+        case EventType::kPark:
+            bump(e.cls, Metric::kParks);
+            break;
+        case EventType::kWake:
+            bump(e.cls, Metric::kWakes);
+            break;
+        case EventType::kWaitModeSwitch:
+            bump(e.cls, Metric::kWaitModeSwitches);
             break;
         default:
             break;

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * WaitSite: the per-object (or per-socket) parking point that composes
+ * the wait_select.hpp hint with waiting/wait.hpp's algorithms.
+ *
+ * A reactive primitive is parameterized on a *Waiting* tag:
+ *
+ *  - `SpinWaiting` (the default) instantiates the empty specialization:
+ *    zero storage (`[[no_unique_address]]`), every method a no-op or a
+ *    plain spin, so primitives compile to exactly the code they
+ *    compiled to before this subsystem existed — the park-free
+ *    bit-identity argument reduces to "the type is empty and the
+ *    parking branches are `if constexpr`-pruned".
+ *  - `ParkWaiting` holds the platform's WaitQueue eventcount
+ *    (platform/parker.hpp futex / condvar, sim/machine.hpp SimWaitQueue),
+ *    the holder-published hint word, and the wake timestamp used to
+ *    measure the block-cost class.
+ *
+ * Safety (the PR 4/6 argument, restated for parking):
+ *
+ *  - Sites are **object-level** (or per-socket inside CohortQueue) and
+ *    strictly outlive every waiter's queue node, so a waker never
+ *    touches releasable memory: it stores the grant into the node
+ *    (exactly as before), then notifies the *site*.
+ *  - Every condition-changing store in a parking configuration is
+ *    followed, in the same thread, by `wake_all()` on the covering
+ *    site. `notify_all` bumps the eventcount epoch with a seq_cst RMW
+ *    before consulting the waiter count, and `prepare_wait` increments
+ *    the waiter count with a seq_cst RMW before re-checking the
+ *    predicate — the Dekker store/load pairing that makes a lost
+ *    wakeup impossible (parker.hpp documents the futex and condvar
+ *    variants, machine.cpp the simulated one).
+ *  - Waiters woken by a broadcast re-check *their own* predicate and
+ *    re-park if it still fails (wait_until's eventcount loop), so a
+ *    thundering herd costs spurious wakeups, never correctness. An
+ *    empty notify is one epoch bump plus a waiter-count load — the
+ *    syscall is skipped.
+ *
+ * Hint staleness is bounded in both directions. A waiter that parked
+ * under a stale hint is still woken by the next release (which always
+ * notifies), re-checks, and — because `await` parks one round at a
+ * time (wait_round) — re-reads the hint before re-parking. A waiter
+ * *spinning* under a stale hint would never be told to park — no event
+ * interrupts a spin loop — so `await` runs spin hints in bounded
+ * slices and re-reads the hint between slices. Both directions matter
+ * to mode *probing*: a trial park hint reaches spinning waiters within
+ * a slice, and retracting it un-parks them within one wakeup. The
+ * measured wake latency (release-timestamp -> running) is reported to
+ * the caller, which feeds it to the WaitSelectPolicy only once it is
+ * the holder — keeping the block-cost estimator single-writer.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/platform_concept.hpp"
+#include "waiting/reactive/wait_select.hpp"
+#include "waiting/wait.hpp"
+
+namespace reactive {
+
+/// Waiting tag: keep the pre-subsystem pure-spin slow paths (default).
+struct SpinWaiting {};
+
+/// Waiting tag: hint-dispatched spin / two-phase / park slow paths.
+struct ParkWaiting {};
+
+/// What one dispatched wait cost (returned by WaitSite::await).
+struct AwaitResult {
+    std::uint64_t wait_cycles = 0;   ///< wait start -> predicate true
+    std::uint64_t wake_latency = 0;  ///< release stamp -> running (0 = n/a)
+    bool blocked = false;            ///< the wait reached the parked phase
+};
+
+template <Platform P, typename Waiting = SpinWaiting>
+class WaitSite;
+
+/**
+ * Empty spin site: no storage, no hint, a plain pause loop. Primitives
+ * instantiated with SpinWaiting keep their historical waiting code
+ * byte-for-byte (their `if constexpr (Site::kParking)` branches prune).
+ */
+template <Platform P>
+class WaitSite<P, SpinWaiting> {
+  public:
+    static constexpr bool kParking = false;
+
+    template <typename Pred>
+    AwaitResult await(Pred&& pred)
+    {
+        return await(static_cast<Pred&&>(pred), [] { P::pause(); });
+    }
+
+    template <typename Pred, typename Poll>
+    AwaitResult await(Pred&& pred, Poll&& poll)
+    {
+        while (!pred())
+            poll();
+        return {};
+    }
+
+    void wake_all() {}
+    void set_hint(std::uint32_t) {}
+    std::uint32_t hint() const { return 0; }
+    std::uint32_t waiters() const { return 0; }
+};
+
+/**
+ * Parking site: the platform eventcount plus the holder-published wait
+ * hint. See file header for the safety argument.
+ */
+template <Platform P>
+class WaitSite<P, ParkWaiting> {
+  public:
+    static constexpr bool kParking = true;
+
+    /// Polls per spin slice before the hint is re-read. Large enough
+    /// that the relaxed hint load is noise against the polls, small
+    /// enough that a just-published park hint lands promptly.
+    static constexpr std::uint32_t kSpinSlice = 64;
+
+    /// Cycle bound on a spin slice. The poll count alone does not
+    /// bound a slice in *time*: a pacing poll (the TTS path's
+    /// exponential backoff) stretches a single poll up to the backoff
+    /// cap, so 64 polls can outlast the entire wait and the hint would
+    /// never be re-read — a waiter that entered under a stale spin
+    /// hint would sit out a park hint published one release later.
+    /// Half the default backoff cap: once backoff saturates the hint
+    /// is re-read roughly every pause, and the extra relaxed load is
+    /// noise against a multi-thousand-cycle delay.
+    static constexpr std::uint64_t kSpinSliceCycles = 4096;
+
+    /**
+     * Waits until @p pred() is true, using the waiting algorithm the
+     * current hint names. The predicate may acquire (TTS exchange,
+     * try_lock_read) and must be abortable via captured flags — it is
+     * re-evaluated across spurious wakeups. Standard eventcount
+     * contract: wakers make the condition true *before* wake_all().
+     *
+     * @p poll paces the spin-mode polling loop. Callers whose
+     * predicate touches a *contended* line (TTS exchange) must pass
+     * their spin build's backoff here — spin mode is supposed to
+     * reproduce the spin build, and polling a contended line at pause
+     * cadence is an invalidation storm the spin build does not have.
+     * Local-flag waits (queue nodes) use the plain-pause default.
+     */
+    template <typename Pred>
+    AwaitResult await(Pred&& pred)
+    {
+        return await(static_cast<Pred&&>(pred), [] { P::pause(); });
+    }
+
+    template <typename Pred, typename Poll>
+    AwaitResult await(Pred&& pred, Poll&& poll)
+    {
+        AwaitResult r;
+        const std::uint64_t t0 = P::now();
+        for (;;) {
+            const WaitHint h =
+                unpack_wait_hint(hint_.load(std::memory_order_relaxed));
+            const WaitingAlgorithm alg = to_algorithm(h);
+            if (alg.kind == WaitKind::kAlwaysSpin) {
+                // Spin in a bounded slice, then re-read the hint: a
+                // park hint published mid-wait must reach waiters that
+                // entered under the old spin hint (nothing else ever
+                // interrupts a spin loop). The slice is bounded both
+                // in polls and in cycles — see kSpinSliceCycles.
+                bool satisfied = false;
+                const std::uint64_t slice_end = P::now() + kSpinSliceCycles;
+                for (std::uint32_t i = 0; i < kSpinSlice; ++i) {
+                    if (pred()) {
+                        satisfied = true;
+                        break;
+                    }
+                    poll();
+                    if (P::now() >= slice_end)
+                        break;
+                }
+                if (satisfied)
+                    break;
+                continue;
+            }
+            // Two-phase and park proceed one round (poll phase + one
+            // park episode) at a time, re-reading the hint between
+            // rounds: a retracted park hint must reach waiters that a
+            // broadcast woke with their predicate still false, or a
+            // transient park mode would strand them park-bound until
+            // they won.
+            const WaitRound round = wait_round<P>(queue_, pred, alg);
+            if (round.blocked)
+                r.blocked = true;
+            if (round.satisfied)
+                break;
+        }
+        r.wait_cycles = P::now() - t0;
+        if (r.blocked) {
+            // Block-cost-class sample: the span from the waking
+            // release's stamp to now. Meaningful only when this wake
+            // chains directly off that release; a stale stamp (we woke
+            // late, several releases ago) only inflates the sample
+            // toward the real scheduling delay, which is the quantity
+            // being estimated.
+            const std::uint64_t ts =
+                release_ts_.load(std::memory_order_relaxed);
+            const std::uint64_t now = P::now();
+            if (ts != 0 && now > ts)
+                r.wake_latency = now - ts;
+        }
+        return r;
+    }
+
+    /// Stamps the wake timestamp and broadcasts to every parked waiter.
+    /// Callers: any thread that just made some waiter's predicate true
+    /// (release stores, grant handoffs, invalidation walks).
+    void wake_all()
+    {
+        if (queue_.waiters() == 0) {
+            // Nobody is advertised (the common spin-mode release).
+            // The stamp is consumed only by woken waiters' latency
+            // samples, so skip the shared-line write either way.
+            //
+            // In the simulator the count is an exact sequential read
+            // that includes waiters still between prepare_wait and
+            // commit_wait (machine.hpp), so skipping the notify —
+            // epoch bump and all — cannot strand anyone: a later
+            // prepare re-tests the predicate after our condition
+            // store. This makes a spin-mode release charge exactly
+            // what the SpinWaiting build charges; without it the
+            // empty-notify wait_queue_op is a standing cost wedge
+            // between the two builds.
+            //
+            // Natively the count is an advisory relaxed load that
+            // cannot carry the Dekker pairing (a releaser's condition
+            // store may still sit in the store buffer when it reads
+            // the count, while a preparing waiter's predicate check
+            // misses the store). Fall through: notify_all's internal
+            // seq_cst epoch bump + waiter re-check is the lose-free
+            // path, and it already elides the expensive wake.
+            if constexpr (requires { requires P::deterministic_simulation; })
+                return;
+        } else {
+            release_ts_.store(P::now(), std::memory_order_relaxed);
+        }
+        queue_.notify_all();
+    }
+
+    /// Holder-only hint publication (relaxed: the hint is advisory).
+    /// Publish-on-change: every spinning waiter holds the hint line
+    /// shared, and an unconditional store would invalidate all of
+    /// them on every release; the holder's re-read is a cache hit.
+    void set_hint(std::uint32_t packed)
+    {
+        if (hint_.load(std::memory_order_relaxed) != packed)
+            hint_.store(packed, std::memory_order_relaxed);
+    }
+
+    std::uint32_t hint() const
+    {
+        return hint_.load(std::memory_order_relaxed);
+    }
+
+    /// Advisory parked-waiter count — the queue-depth signal the holder
+    /// reads for free at release (single racy relaxed load).
+    std::uint32_t waiters() const { return queue_.waiters(); }
+
+  private:
+    typename P::WaitQueue queue_;
+    typename P::template Atomic<std::uint32_t> hint_{0};
+    typename P::template Atomic<std::uint64_t> release_ts_{0};
+};
+
+}  // namespace reactive
+

@@ -137,4 +137,54 @@ WaitOutcome wait_until(typename P::WaitQueue& q, Pred&& pred,
     return out;
 }
 
+/// What one bounded round of waiting produced (wait_round).
+struct WaitRound {
+    bool satisfied = false;  ///< pred() held when the round ended
+    bool blocked = false;    ///< the round reached the signaling phase
+};
+
+/**
+ * One *round* of @p alg: the polling phase (two-phase only), then at
+ * most one signaling episode. Unlike wait_until this returns after a
+ * single wakeup even if pred() is still false, so the caller can
+ * re-consult a changed waiting-mode hint before re-parking — without
+ * this, a waiter parked under a since-retracted park hint would stay
+ * park-bound until it finally won. Precondition: alg.kind is
+ * kAlwaysBlock or kTwoPhase (spinning has no round boundary; callers
+ * bound it themselves). Same eventcount contract as wait_until.
+ */
+template <Platform P, typename Pred>
+WaitRound wait_round(typename P::WaitQueue& q, Pred&& pred,
+                     const WaitingAlgorithm& alg)
+{
+    WaitRound r;
+    if (pred()) {
+        r.satisfied = true;
+        return r;
+    }
+    if (alg.kind == WaitKind::kTwoPhase) {
+        const std::uint64_t t0 = P::now();
+        for (;;) {
+            detail::poll_step<P>(alg.poll);
+            if (pred()) {
+                r.satisfied = true;
+                return r;
+            }
+            if (P::now() - t0 >= alg.poll_limit)
+                break;  // polling budget Lpoll exhausted
+        }
+    }
+    const std::uint32_t epoch = q.prepare_wait();
+    if (pred()) {
+        q.cancel_wait();
+        r.satisfied = true;
+        return r;
+    }
+    q.commit_wait(epoch);
+    r.blocked = true;
+    r.satisfied = pred();
+    return r;
+}
+
 }  // namespace reactive
+

@@ -232,6 +232,69 @@ TEST(CalibratedHysteresisTest, BehavesLikeHysteresisAtDerivedStreaks)
     EXPECT_TRUE(h.on_tts_acquire(true));
 }
 
+TEST(CalibratedHysteresisTest, ZeroPeriodNeverProbes)
+{
+    // The default (probe_period = 0) is the historical non-probing
+    // policy: decisions depend on the streaks alone, forever.
+    CalibratedHysteresisPolicy h;
+    for (int i = 0; i < 50000; ++i)
+        EXPECT_FALSE(h.on_tts_acquire(false, 50));
+    EXPECT_EQ(h.probes_started(), 0u);
+}
+
+TEST(CalibratedHysteresisTest, RefreshProbesUnfreezeDormantResiduals)
+{
+    // The staleness hole the flag closes: a policy parked forever in
+    // the TTS home never samples the queue protocol, so the
+    // queue-waited class — and the TTS->queue evidence bar derived
+    // from it — is frozen at its seed no matter how the dormant
+    // protocol's real cost drifts. Here the queue's waited handoffs
+    // have silently become far cheaper than seeded (30 cycles); only
+    // a probe can observe that.
+    CalibratedHysteresisPolicy::Params pp;
+    pp.probe_period = 128;
+    pp.probe_len = 2;
+    CalibratedHysteresisPolicy frozen;  // default: no probes
+    CalibratedHysteresisPolicy probing(pp);
+    const std::uint32_t before = probing.to_queue_streak();
+
+    // Drive the primitive's contract: quiet TTS home traffic; every
+    // "switch now" flips the protocol and notifies. (No
+    // on_switch_cycles: the switch round trip stays at its seed so
+    // the threshold movement isolates the residual refresh.)
+    auto drive = [](CalibratedHysteresisPolicy& h, std::uint64_t n) {
+        bool in_tts = true;
+        std::uint64_t switches = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const bool sw = in_tts ? h.on_tts_acquire(false, 50)
+                                   : h.on_queue_acquire(false, 30);
+            if (sw) {
+                h.on_switch();
+                in_tts = !in_tts;
+                ++switches;
+            }
+        }
+        EXPECT_TRUE(in_tts) << "probes must always return home";
+        return switches;
+    };
+    drive(frozen, 100000);
+    const std::uint64_t switches = drive(probing, 100000);
+
+    EXPECT_EQ(frozen.probes_started(), 0u);
+    EXPECT_EQ(frozen.to_queue_streak(), before) << "stale forever";
+
+    // Backoff: periods 128, 256, ..., cap at 128<<6 — ~17 probes in
+    // 100k acquisitions; without backoff it would be ~780.
+    EXPECT_GE(probing.probes_started(), 5u);
+    EXPECT_LE(probing.probes_started(), 20u);
+    EXPECT_EQ(switches, 2 * probing.probes_started())
+        << "every probe is exactly one round trip";
+    // Cheaper queue-waited handoffs grow the contended-TTS residual,
+    // so each contended acquisition is worth more evidence and the
+    // streak needed to leave TTS drops.
+    EXPECT_LT(probing.to_queue_streak(), before);
+}
+
 // ---- CalibratedCompetitive3Policy: probing --------------------------
 
 TEST(CalibratedCompetitive3Test, ReprobeCadenceIsBoundedAndBacksOff)

@@ -327,6 +327,79 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(std::get<1>(info.param));
     });
 
+// ---- cohort queue auto-budget fairness sweep ----------------------------
+//
+// With auto_budget on, the per-socket batch budget floats between
+// budget_min and budget_max — one step per cohort grant, driven by the
+// local depth the releasing holder reads for free — and the fairness
+// constant becomes (sockets - 1) x (budget_max + 1). The same
+// adversarial all-local stream as above now faces the *worst* budget
+// the resizer could legally reach, so the sweep checks the dynamic
+// bound, not the static one.
+
+class CohortAutoBudgetSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CohortAutoBudgetSweep, RemoteWaiterBoundedByBudgetMaxPlusOne)
+{
+    const std::uint64_t seed = GetParam();
+    constexpr std::uint32_t kLocals = 4;       // socket 0
+    constexpr std::uint32_t kProcs = kLocals + 1;  // remote on socket 1
+    constexpr int kRemoteAcqs = 12;
+    sim::Machine m(kProcs, sim::Topology{2, kLocals},
+                   sim::CostModel::alewife(), seed);
+    CohortQueue<SimPlatform>::Params cp;
+    cp.sockets = 2;
+    cp.auto_budget = true;
+    cp.budget_min = 2;
+    cp.budget_max = 6;
+    auto q = std::make_shared<CohortQueue<SimPlatform>>(true, cp);
+    auto done = std::make_shared<sim::Atomic<std::uint32_t>>(0);
+    auto max_gap = std::make_shared<std::uint64_t>(0);
+    auto remote_acqs = std::make_shared<int>(0);
+    for (std::uint32_t p = 0; p < kLocals; ++p) {
+        m.spawn(p, [=] {
+            CohortQueue<SimPlatform>::Node n;
+            for (int i = 0; i < 100000 && done->load() == 0; ++i) {
+                (void)q->acquire(n);
+                sim::delay(40);
+                q->release(n);
+            }
+        });
+    }
+    m.spawn(kLocals, [=] {
+        for (int i = 0; i < kRemoteAcqs; ++i) {
+            CohortQueue<SimPlatform>::Node n;
+            (void)q->acquire(n);
+            const std::uint64_t gap = q->grants() - n.enqueue_grants;
+            if (gap > *max_gap)
+                *max_gap = gap;
+            ++*remote_acqs;
+            sim::delay(40);
+            q->release(n);
+            sim::delay(500);
+        }
+        done->store(1);
+    });
+    m.run();
+    EXPECT_EQ(*remote_acqs, kRemoteAcqs);
+    EXPECT_LE(*max_gap, static_cast<std::uint64_t>(cp.budget_max) + 1)
+        << "budget_max=" << cp.budget_max << " seed=" << seed;
+    // The resizer must have kept every socket's budget inside its
+    // clamp (the invariant the bound's constant rests on).
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        EXPECT_GE(q->socket_budget(s), cp.budget_min) << "socket " << s;
+        EXPECT_LE(q->socket_budget(s), cp.budget_max) << "socket " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CohortAutoBudgetSweep,
+    ::testing::Values(1ull, 7ull, 42ull, 1234ull),
+    [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+        return "s" + std::to_string(info.param);
+    });
+
 // ---- cohort queue exclusion / reactive-switch storms --------------------
 
 TEST(CohortQueueProperties, MutualExclusionAcrossTopologies)

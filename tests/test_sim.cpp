@@ -307,6 +307,54 @@ TEST(MachineTest, NotifyAllWakesEveryone)
     EXPECT_EQ(woke->load(), 4);
 }
 
+TEST(MachineTest, WaitQueueCountsAdvertisedWaitersLikeNative)
+{
+    // waiters() mirrors the native eventcounts (platform/parker.hpp):
+    // the count moves at prepare_wait (the advertisement), not at the
+    // block, and is retracted by cancel_wait or when the committed
+    // wait resolves. A releaser consulting the count during the
+    // prepare/commit window therefore sees the waiter — the semantics
+    // wait_site.hpp's sim-side notify skip is sound under. (The old
+    // drift — sim counting only *blocked* waiters — would make that
+    // skip strand a preparing waiter on its stale epoch snapshot.)
+    SimWaitQueue q;
+    EXPECT_EQ(q.waiters(), 0u);
+    std::uint32_t e = q.prepare_wait();
+    EXPECT_EQ(q.waiters(), 1u);
+    q.cancel_wait();
+    EXPECT_EQ(q.waiters(), 0u);
+    e = q.prepare_wait();
+    q.notify_one();              // epoch moves inside the window
+    EXPECT_EQ(q.waiters(), 1u);  // advertised until the wait resolves
+    q.commit_wait(e);            // stale epoch: returns, no block
+    EXPECT_EQ(q.waiters(), 0u);
+}
+
+TEST(MachineTest, NotifyInsidePrepareCommitWindowIsSeenInSim)
+{
+    // Sim counterpart of EventCountContractTest's race-window test: a
+    // notify landing between prepare_wait and commit_wait must make
+    // commit_wait return via the epoch re-check, and the notifier
+    // consulting waiters() inside that window must see the preparing
+    // waiter advertised. Together these are what make "skip the
+    // notify when waiters() == 0" exact in the sequential simulation.
+    Machine m(2);
+    auto q = std::make_shared<SimWaitQueue>();
+    auto seen = std::make_shared<std::uint32_t>(99);
+    m.spawn(0, [q] {
+        std::uint32_t e = q->prepare_wait();
+        delay(5000);        // hold the prepare/commit window open
+        q->commit_wait(e);  // a lost wakeup would deadlock the run
+    });
+    m.spawn(1, [q, seen] {
+        delay(1000);  // land inside the waiter's window
+        *seen = q->waiters();
+        q->notify_all();
+    });
+    m.run();  // the deadlock detector is the lost-wakeup canary
+    EXPECT_EQ(*seen, 1u);
+}
+
 TEST(MachineTest, DeadlockDetected)
 {
     Machine m(1);

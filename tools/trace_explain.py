@@ -5,8 +5,10 @@ Reads the Chrome trace-event JSON written by `--trace <file>` (see
 src/trace/export.hpp for the event schema) and replays it into a
 per-object decision narrative: which protocol each object started on,
 every switch with its triggering signal / drift / estimator snapshot,
-probe episodes and their outcomes, and the per-class metric rollup the
-binary embedded under "reactiveMetrics".
+probe episodes and their outcomes, every *waiting-mode* switch with
+the estimator snapshot that drove it (hold/block EWMAs, expected
+wait), a park/wake rollup per object, and the per-class metric rollup
+the binary embedded under "reactiveMetrics".
 
 `--regret` switches to the decision-audit view: switch, probe and
 regret events are merged into per-object *decision intervals* (the
@@ -47,7 +49,17 @@ KNOWN_TYPES = {
     "cohort_handoff",
     "cohort_abort",
     "regret",
+    "park",
+    "wake",
+    "wait_mode_switch",
 }
+
+# WaitMode encoding (src/waiting/reactive/wait_select.hpp).
+WAIT_MODES = {0: "spin", 1: "two_phase", 2: "park"}
+
+
+def wait_mode(v):
+    return WAIT_MODES.get(v, f"mode{v}")
 
 REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "tid", "args")
 REQUIRED_ARG_KEYS = ("object", "from", "to")
@@ -109,6 +121,12 @@ def explain(events, quiet):
     current = {}
     cls_of = {}
     switches = 0
+    # object id -> park/wake rollup (parks are per-wait samples, wakes
+    # per-broadcast; too many for narrative lines, so they aggregate).
+    waits = defaultdict(lambda: {"parks": 0, "wait_cycles": 0,
+                                 "wakes": 0, "woken": 0,
+                                 "wake_latency_sum": 0,
+                                 "wake_latency_n": 0})
     for i, e in enumerate(events):
         a = e["args"]
         obj, frm, to = a["object"], a["from"], a["to"]
@@ -148,9 +166,42 @@ def explain(events, quiet):
                 f"{a.get('a0', '?')} passes, global handoff")
         elif name == "cohort_abort":
             timeline[obj].append(f"  t={t}: cohort queue invalidated")
+        elif name == "wait_mode_switch":
+            # The waiting-axis decision record: the holder's estimator
+            # snapshot (hold/block EWMAs, expected wait) and the mode
+            # it chose for the waiters it is about to signal.
+            timeline[obj].append(
+                f"  t={t}: wait mode {wait_mode(frm)}->{wait_mode(to)} "
+                f"(hold_est={a.get('hold_est', '?')} "
+                f"block_est={a.get('block_est', '?')} "
+                f"expected_wait={a.get('expected_wait', '?')} "
+                f"hint={a.get('hint', '?')})")
+        elif name == "park":
+            w = waits[obj]
+            w["parks"] += 1
+            w["wait_cycles"] += a.get("wait_cycles", 0)
+            lat = a.get("wake_latency", 0)
+            if lat > 0:
+                w["wake_latency_sum"] += lat
+                w["wake_latency_n"] += 1
+        elif name == "wake":
+            w = waits[obj]
+            w["wakes"] += 1
+            w["woken"] += a.get("woken", 0)
         # acq_sample / fast_acquire / cohort_grant / regret are
         # high-volume samples; they feed the stats (and the --regret
         # view), not the narrative.
+    for obj, w in waits.items():
+        if w["parks"] == 0 and w["wakes"] == 0:
+            continue
+        line = (f"  waiting: {w['parks']} waited acquisition(s) "
+                f"({w['wait_cycles']} cycles), {w['wakes']} broadcast(s) "
+                f"waking {w['woken']}")
+        if w["wake_latency_n"] > 0:
+            line += (f", mean wake latency "
+                     f"{w['wake_latency_sum'] // w['wake_latency_n']} "
+                     f"cycles ({w['wake_latency_n']} measured)")
+        timeline[obj].append(line)
     if not quiet:
         for obj in sorted(timeline):
             print(f"{cls_of.get(obj, 'object')} #{obj}:")
